@@ -1,0 +1,71 @@
+"""Section III-G ablation: the FS-register context-switch cost.
+
+Paper: switching between the upper and lower half rewrites the FS
+register; before Linux 5.9 that is a kernel call ("inordinately
+expensive — microseconds or more"), MANA-2.0 added a user-space
+workaround, and FSGSBASE kernels make it nearly free.  Cori runs kernel
+4.12, so this cost multiplies every MPI call.
+
+Here: the same point-to-point-heavy workload under the three tiers; the
+MANA/native runtime ratio orders SYSCALL > WORKAROUND > FSGSBASE.
+"""
+
+from repro.apps.micro import TokenRing
+from repro.bench import BenchScale, current_scale, save_result
+from repro.hosts import CORI_HASWELL
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.config import FsTier
+from repro.mana.session import run_app_native
+from repro.util.tables import AsciiTable
+
+
+def sweep():
+    scale = current_scale()
+    laps = 60 if scale is BenchScale.FULL else 25
+    nranks = 16
+    factory = lambda r: TokenRing(r, laps=laps, compute_s=3e-6)
+    native = run_app_native(nranks, factory, CORI_HASWELL)
+    data = {"nranks": nranks, "laps": laps, "native_s": native.elapsed,
+            "tiers": {}}
+    for tier in (FsTier.SYSCALL, FsTier.WORKAROUND, FsTier.FSGSBASE):
+        cfg = ManaConfig.feature_2pc().but(fs_tier=tier)
+        out = ManaSession(nranks, factory, CORI_HASWELL, cfg).run()
+        assert out.results == native.results
+        data["tiers"][tier.value] = {
+            "elapsed": out.elapsed,
+            "ratio": out.elapsed / native.elapsed,
+            "lower_half_calls": sum(
+                s.lower_half_calls for s in out.rank_stats
+            ),
+        }
+    return data
+
+
+def render(data) -> str:
+    t = AsciiTable(
+        ["FS tier", "MANA time (s)", "ratio vs native", "lower-half calls"],
+        title=(
+            "Section III-G ablation — FS-register switch cost "
+            f"(token ring, {data['nranks']} ranks; native "
+            f"{data['native_s']:.5f}s)"
+        ),
+    )
+    for tier, d in data["tiers"].items():
+        t.add_row(
+            [tier, f"{d['elapsed']:.5f}", f"{d['ratio']:.2f}x",
+             d["lower_half_calls"]]
+        )
+    return t.render()
+
+
+def test_fs_register_tiers(once):
+    data = once(sweep)
+    save_result("ablation_fsreg", render(data), data)
+    tiers = data["tiers"]
+    assert (
+        tiers["syscall"]["elapsed"]
+        > tiers["workaround"]["elapsed"]
+        > tiers["fsgsbase"]["elapsed"]
+    )
+    # the kernel-call tier is a material slowdown on a call-dense app
+    assert tiers["syscall"]["ratio"] > tiers["fsgsbase"]["ratio"] * 1.1

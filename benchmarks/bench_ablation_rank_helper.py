@@ -1,0 +1,67 @@
+"""Section III-I item 3 ablation: the local-to-global rank helper.
+
+Paper: "An internal helper method that translates the local rank of a
+communicator to a global rank makes multiple calls to the lower half.
+Calls to the lower half adjust the FS register, which is expensive ...
+This can be rewritten to make fewer calls."
+
+Here: the same point-to-point workload with the multi-call helper
+(master/original behaviour) vs the rewritten single-call version
+(feature/2pc), on the expensive FS tier where each saved lower-half
+round trip matters most.  Measured: total lower-half calls and runtime.
+"""
+
+from repro.apps.micro import TokenRing
+from repro.bench import BenchScale, current_scale, save_result
+from repro.hosts import CORI_HASWELL
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.config import FsTier
+from repro.mana.session import run_app_native
+from repro.util.tables import AsciiTable
+
+
+def one(multi: bool, laps: int) -> dict:
+    nranks = 16
+    factory = lambda r: TokenRing(r, laps=laps, compute_s=3e-6)
+    cfg = ManaConfig.feature_2pc().but(
+        multi_call_rank_helper=multi, fs_tier=FsTier.SYSCALL
+    )
+    session = ManaSession(nranks, factory, CORI_HASWELL, cfg)
+    out = session.run()
+    native = run_app_native(nranks, factory, CORI_HASWELL)
+    return {
+        "helper": "multi-call" if multi else "single-call",
+        "lower_half_calls": sum(s.lower_half_calls for s in out.rank_stats),
+        "elapsed": out.elapsed,
+        "ratio": out.elapsed / native.elapsed,
+    }
+
+
+def sweep():
+    scale = current_scale()
+    laps = 60 if scale is BenchScale.FULL else 25
+    return {"laps": laps, "rows": [one(True, laps), one(False, laps)]}
+
+
+def render(data) -> str:
+    t = AsciiTable(
+        ["rank-translation helper", "lower-half calls", "runtime (s)",
+         "ratio vs native"],
+        title="Section III-I.3 ablation — multi-call rank helper "
+              f"(token ring, SYSCALL FS tier, {data['laps']} laps)",
+    )
+    for r in data["rows"]:
+        t.add_row(
+            [r["helper"], r["lower_half_calls"], f"{r['elapsed']:.5f}",
+             f"{r['ratio']:.2f}x"]
+        )
+    return t.render()
+
+
+def test_rank_helper_lower_half_calls(once):
+    data = once(sweep)
+    save_result("ablation_rank_helper", render(data), data)
+    multi, single = data["rows"]
+    # the rewrite saves two lower-half round trips per pt2pt wrapper
+    assert multi["lower_half_calls"] > single["lower_half_calls"] * 1.3
+    assert multi["elapsed"] > single["elapsed"]

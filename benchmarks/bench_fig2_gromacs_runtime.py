@@ -1,0 +1,83 @@
+"""Figure 2: GROMACS run time, native vs MANA, on Haswell and KNL.
+
+Paper setup: the 407,156-atom AuCoo system, strong-scaled from 1 to 64
+nodes at 32 MPI processes per node, 10,000 MD steps; blue bars native,
+red bars MANA, yellow line their ratio.  Reported shape: overhead small
+at low node counts, growing with scale (rapidly on Haswell past two
+nodes; modest on KNL until 2048 processes).
+
+Here: the MD proxy under the ``feature/2pc`` configuration (the paper
+used the overhead-focused interface8 branch).  Quick scale sweeps 32-256
+ranks with a short steady-state step count; ``REPRO_BENCH_SCALE=full``
+sweeps to 2048.
+"""
+
+from repro.bench import BenchScale, current_scale, fig2_point, save_result
+from repro.hosts import CORI_HASWELL, CORI_KNL
+from repro.mana import ManaConfig
+from repro.util.tables import AsciiTable
+
+
+def sweep():
+    scale = current_scale()
+    if scale is BenchScale.FULL:
+        rank_counts = [32, 64, 128, 256, 512, 1024, 2048]
+        steps = 20
+    else:
+        rank_counts = [32, 64, 128, 256]
+        steps = 6
+    cfg = ManaConfig.feature_2pc()
+    data = {"steps": steps, "machines": {}}
+    for machine in (CORI_HASWELL, CORI_KNL):
+        rows = []
+        for nranks in rank_counts:
+            native = fig2_point(nranks, machine, None, steps)
+            mana = fig2_point(nranks, machine, cfg, steps)
+            rows.append(
+                {
+                    "nranks": nranks,
+                    "nodes": nranks // machine.ranks_per_node,
+                    "native_s": native.elapsed,
+                    "mana_s": mana.elapsed,
+                    "ratio": mana.elapsed / native.elapsed,
+                }
+            )
+        data["machines"][machine.name] = rows
+    return data
+
+
+def render(data) -> str:
+    lines = [
+        "Figure 2 — GROMACS (MD proxy) run time: native vs MANA",
+        f"(virtual seconds for {data['steps']} MD steps; paper runs 10,000)",
+    ]
+    for name, rows in data["machines"].items():
+        t = AsciiTable(
+            ["ranks", "nodes", "native (s)", "MANA (s)", "ratio"],
+            title=f"\n{name.upper()} nodes",
+        )
+        for r in rows:
+            t.add_row(
+                [
+                    r["nranks"],
+                    r["nodes"],
+                    f"{r['native_s']:.4f}",
+                    f"{r['mana_s']:.4f}",
+                    f"{r['ratio']:.2f}x",
+                ]
+            )
+        lines.append(t.render())
+    return "\n".join(lines)
+
+
+def test_fig2_gromacs_runtime(once):
+    data = once(sweep)
+    save_result("fig2_gromacs_runtime", render(data), data)
+    for name, rows in data["machines"].items():
+        ratios = [r["ratio"] for r in rows]
+        # MANA always costs something, and the overhead ratio grows under
+        # strong scaling (the paper's headline shape)
+        assert all(x >= 1.0 for x in ratios), (name, ratios)
+        assert ratios[-1] > ratios[0], (name, ratios)
+        # at one node the overhead is modest
+        assert ratios[0] < 1.35, (name, ratios)

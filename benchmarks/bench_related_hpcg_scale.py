@@ -1,0 +1,72 @@
+"""Related-work scale demonstration: HPCG checkpoint/restart.
+
+The paper's Section V situates MANA against earlier results on HPCG:
+Chouhan et al. [11] demonstrated transparent checkpointing of HPCG at
+512 processes with the updated MANA; [31] reached 32,368 processes with
+DMTCP's InfiniBand plugin.  This bench reproduces the [11]-style
+demonstration on the CG proxy: checkpoint + full restart at increasing
+rank counts, verifying bit-identical convergence, and reporting how
+checkpoint time scales with process count (image volume grows linearly;
+per-node burst-buffer bandwidth is fixed).
+"""
+
+from repro.apps.hpcg_proxy import HpcgConfig, HpcgProxy
+from repro.bench import BenchScale, current_scale, save_result
+from repro.hosts import CORI_HASWELL
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+from repro.util.tables import AsciiTable
+
+
+def one(nranks: int, iterations: int) -> dict:
+    cfg = HpcgConfig(nranks=nranks, iterations=iterations)
+    factory = lambda r: HpcgProxy(r, cfg, CORI_HASWELL)
+    mana = ManaConfig.feature_2pc()
+    base = ManaSession(nranks, factory, CORI_HASWELL, mana).run()
+    session = ManaSession(nranks, factory, CORI_HASWELL, mana)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="restart")]
+    )
+    assert out.results == base.results, f"diverged at {nranks} ranks"
+    rec = out.checkpoints[0]
+    return {
+        "nranks": nranks,
+        "ckpt_s": rec["checkpoint_time"],
+        "restart_s": rec["restart_time"],
+        "image_gb": rec["image_bytes_total"] / 1e9,
+        "ok": out.results == base.results,
+    }
+
+
+def sweep():
+    scale = current_scale()
+    if scale is BenchScale.FULL:
+        rank_counts, iterations = [64, 128, 256, 512], 10
+    else:
+        rank_counts, iterations = [32, 64, 128], 6
+    return {"points": [one(n, iterations) for n in rank_counts]}
+
+
+def render(data) -> str:
+    t = AsciiTable(
+        ["ranks", "ckpt (s)", "restart (s)", "images (GB)", "C/R ok"],
+        title="Related work — HPCG proxy checkpoint/restart at scale "
+              "(cf. [11]: 512 processes)",
+    )
+    for p in data["points"]:
+        t.add_row(
+            [p["nranks"], f"{p['ckpt_s']:.3f}", f"{p['restart_s']:.3f}",
+             f"{p['image_gb']:.1f}", "OK" if p["ok"] else "FAIL"]
+        )
+    return t.render()
+
+
+def test_hpcg_checkpoint_restart_scales(once):
+    data = once(sweep)
+    save_result("related_hpcg_scale", render(data), data)
+    points = data["points"]
+    assert all(p["ok"] for p in points)
+    # image volume (and with per-node BB bandwidth fixed, checkpoint
+    # time) grows with the process count
+    gbs = [p["image_gb"] for p in points]
+    assert gbs == sorted(gbs) and gbs[-1] > gbs[0]

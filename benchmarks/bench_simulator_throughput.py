@@ -1,0 +1,38 @@
+"""Simulator-infrastructure benchmark: event throughput.
+
+Not a paper experiment — a regression guard for the reproduction's own
+substrate.  A profiling pass (see DESIGN.md's scale note) shows the
+event loop's cost is spread across resume/dispatch/inject with no
+single hotspot; this bench pins the achieved events-per-second for a
+representative MANA workload so substrate regressions are visible.
+"""
+
+from repro.apps.dft_proxy import DftConfig, DftProxy
+from repro.apps.workloads import workload
+from repro.bench import save_result
+from repro.hosts import CORI_HASWELL
+from repro.mana import ManaConfig, ManaSession
+
+
+def run_workload():
+    cfg = DftConfig(nranks=64, workload=workload("CaPOH"), iterations=2)
+    factory = lambda r: DftProxy(r, cfg, CORI_HASWELL)
+    session = ManaSession(64, factory, CORI_HASWELL, ManaConfig.master())
+    session.run()
+    return session.sched.events_run
+
+
+def test_event_throughput(benchmark):
+    events = benchmark.pedantic(run_workload, rounds=3, iterations=1,
+                                warmup_rounds=1)
+    seconds = benchmark.stats.stats.mean
+    rate = events / seconds
+    save_result(
+        "simulator_throughput",
+        f"simulator throughput: {events} events in {seconds:.2f}s wall "
+        f"= {rate / 1e3:.0f}k events/s",
+        {"events": events, "mean_seconds": seconds, "events_per_sec": rate},
+    )
+    # floor chosen far below current (~170k/s) to catch order-of-magnitude
+    # regressions without flaking on slow machines
+    assert rate > 20_000

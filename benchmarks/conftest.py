@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Set
+``REPRO_BENCH_SCALE=full`` for paper-scale sweeps (up to 2048 ranks —
+slow); the default ``quick`` scale keeps every experiment's *shape*
+while fitting in minutes.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a workload exactly once under pytest-benchmark timing.
+
+    The interesting output of these benches is the *virtual-time*
+    telemetry each experiment prints and saves under ``results/``; the
+    wall-clock measurement pytest-benchmark reports is the simulator's
+    cost, so a single round is enough.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

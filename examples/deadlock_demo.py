@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The Section III-E deadlock, live.
+
+rank 0:  MPI_Bcast(root=0);  MPI_Send(to 1)
+rank 1:  MPI_Recv(from 0);   MPI_Bcast
+
+Natively this is legal MPI: the broadcast root is *synchronizing but not
+blocking* — it injects its tree sends and returns, then performs the
+Send that releases rank 1.  The original MANA inserted a real barrier in
+front of every collective (its two-phase commit), silently turning the
+Bcast into a blocking call: rank 0 waits in the barrier for rank 1,
+which waits in Recv for rank 0's Send.  Deadlock.
+
+MANA-2.0 fixes it two ways, both shown here: the hybrid two-phase commit
+(no barrier during normal execution) and the alternative point-to-point
+implementation of the collective.
+
+    python examples/deadlock_demo.py
+"""
+
+from repro.apps.micro import BcastThenSend
+from repro.errors import DeadlockError
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.config import CollectiveMode
+from repro.mana.session import run_app_native
+
+
+def try_run(label: str, cfg=None) -> None:
+    factory = lambda r: BcastThenSend(r)
+    print(f"{label:58s}", end=" ")
+    try:
+        if cfg is None:
+            out = run_app_native(2, factory, TESTBOX)
+        else:
+            out = ManaSession(2, factory, TESTBOX, cfg).run()
+        print(f"OK   (both ranks got {out.results[0]!r})")
+    except DeadlockError as exc:
+        first = str(exc).splitlines()[1].strip()
+        print(f"DEADLOCK   ({first} ...)")
+
+
+def main() -> None:
+    try_run("native MPI")
+    try_run(
+        "original MANA (barrier before every collective)",
+        ManaConfig.original(),
+    )
+    try_run(
+        "MANA-2.0 master (still barrier-always)",
+        ManaConfig.master(),
+    )
+    try_run(
+        "MANA-2.0 feature/2pc (hybrid two-phase commit)",
+        ManaConfig.feature_2pc(),
+    )
+    try_run(
+        "MANA-2.0 with point-to-point collectives (Section III-E)",
+        ManaConfig.feature_2pc().but(
+            collective_mode=CollectiveMode.PT2PT_ALWAYS
+        ),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Job chaining with restart-from-file — the paper's motivating use case.
+
+The introduction's operational story: NERSC users chain long-running
+computations across allocation slots, and the center needs to reclaim
+nodes for real-time workloads "within the last half hour of an
+allocation", without waiting for the application's own iteration
+boundary.  Transparent checkpointing makes that possible.
+
+This example plays that story end to end with the REEXEC restart mode:
+
+  job 1:  run the MD proxy under MANA; at the "end of the allocation"
+          the coordinator checkpoints it and the job is killed
+          (CheckpointPlan(action="halt")); the image goes to a file.
+  job 2:  a brand-new session (fresh scheduler, network, MPI library —
+          a different 'process') resumes from the file and finishes.
+
+    python examples/job_chaining.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import (
+    HALTED,
+    CheckpointPlan,
+    resume_from_checkpoint,
+)
+
+
+def main() -> None:
+    nranks = 8
+    md = MdConfig(nranks=nranks, steps=30, reduce_every=5)
+    factory = lambda r: MdProxy(r, md, TESTBOX)
+    # REEXEC needs the recording configuration
+    cfg = ManaConfig.feature_2pc().but(record_replay=True)
+
+    print("reference: one uninterrupted run")
+    reference = ManaSession(nranks, factory, TESTBOX, cfg).run()
+    checksum, energies = reference.results[0]
+    print(f"  {md.steps} MD steps, checksum {checksum}, "
+          f"{len(energies)} energy reductions\n")
+
+    allocation_end = reference.elapsed * 0.6
+    print(f"job 1: allocation ends at t={allocation_end * 1e3:.2f} ms — "
+          "checkpoint and terminate")
+    job1 = ManaSession(nranks, factory, TESTBOX, cfg)
+    out1 = job1.run(
+        checkpoints=[CheckpointPlan(at=allocation_end, action="halt")]
+    )
+    assert out1.results == [HALTED] * nranks
+    image_path = Path(tempfile.mkdtemp()) / "md.ckpt"
+    file_bytes = job1.save_checkpoint(image_path)
+    rec = out1.checkpoints[0]
+    print(f"  checkpointed in {rec['checkpoint_time'] * 1e3:.2f} ms of "
+          f"virtual time; image file {file_bytes / 1e3:.0f} kB on disk "
+          f"(models {rec['image_bytes_total'] / 1e6:.0f} MB of process "
+          "images)\n")
+
+    print("job 2: new allocation, new process — resume from the file")
+    job2 = resume_from_checkpoint(image_path, factory, TESTBOX, cfg)
+    out2 = job2.run()
+    print(f"  finished; results identical to the uninterrupted run: "
+          f"{out2.results == reference.results}")
+    assert out2.results == reference.results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package can't build PEP-517 editable wheels; ``pip install -e .
+--no-use-pep517`` falls back to ``setup.py develop`` via this file)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Workload applications for the evaluation.
+
+* :mod:`~repro.apps.base` — the ``MpiProgram`` contract.
+* :mod:`~repro.apps.md_proxy` — GROMACS-like molecular-dynamics proxy:
+  domain decomposition with halo exchange (point-to-point intensive),
+  used for the paper's Figure 2 and Figure 3.
+* :mod:`~repro.apps.dft_proxy` — VASP-like plane-wave DFT proxy: SCF
+  iterations dominated by small, frequent collectives on split
+  communicators, used for Table I, Table II, and Figure 4.
+* :mod:`~repro.apps.workloads` — the nine VASP benchmark presets of
+  Table I (PdO4 … GaAs-GW0), each mapping to distinct code paths.
+* :mod:`~repro.apps.micro` — small deterministic programs used by tests
+  and the ablation benches (token rings, random pt2pt traffic, the
+  Section III-E deadlock pattern).
+"""
+
+from repro.apps.base import MpiProgram
+
+__all__ = ["MpiProgram"]

@@ -1,0 +1,46 @@
+"""The application contract: one rank's program.
+
+A program's ``main(api)`` is a generator coroutine making MPI calls
+through the API it is handed — identical code runs natively or under
+MANA.  All application state that must survive a checkpoint lives in
+``self.mem`` (the "upper-half memory"): MANA serializes it into the
+checkpoint image via :meth:`snapshot_state`, and scaled-down proxies
+additionally declare the memory footprint of the full-size application
+they stand in for via :meth:`resident_bytes` (which drives the modeled
+image sizes and burst-buffer times of the paper's Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.util.serde import payload_nbytes
+
+
+class MpiProgram:
+    """Base class for rank programs."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        #: all checkpointable application state
+        self.mem: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def main(self, api):
+        """Generator coroutine: the rank's program.  Must be overridden."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks this as a generator function
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """What goes into the checkpoint image for this rank."""
+        return self.mem
+
+    def resident_bytes(self) -> int:
+        """Modeled upper-half application footprint, in bytes.
+
+        Defaults to the actual in-memory size of ``self.mem``; proxies
+        for large applications override this to declare the full-size
+        footprint so image sizes and checkpoint I/O times scale like the
+        paper's."""
+        return payload_nbytes(self.mem)

@@ -1,0 +1,80 @@
+"""Numerical kernels used by the proxy applications.
+
+The proxies carry real (scaled-down) numpy state so that checkpoints
+contain genuine data whose integrity tests can verify, while the *cost*
+of the full-size computation is charged to the virtual clock through the
+machine model's flop rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lj_force_step(
+    positions: np.ndarray,
+    velocities: np.ndarray,
+    box: float,
+    dt: float = 1e-3,
+    cutoff: float = 1.0,
+) -> float:
+    """One velocity-Verlet step with a truncated Lennard-Jones force on a
+    small local atom set (O(n^2), fine for the scaled-down proxy state).
+
+    Mutates positions/velocities in place; returns the potential energy
+    (the quantity the MD proxy reduces globally every few steps).
+    """
+    n = positions.shape[0]
+    if n == 0:
+        return 0.0
+    delta = positions[:, None, :] - positions[None, :, :]
+    delta -= box * np.round(delta / box)  # minimum image
+    r2 = np.sum(delta * delta, axis=-1)
+    np.fill_diagonal(r2, np.inf)
+    mask = r2 < cutoff * cutoff
+    inv_r2 = np.where(mask, 1.0 / np.maximum(r2, 1e-12), 0.0)
+    inv_r6 = inv_r2 ** 3
+    # F = 24 eps (2 (s/r)^12 - (s/r)^6) / r^2 * dr, with eps = s = 1
+    fmag = 24.0 * (2.0 * inv_r6 * inv_r6 - inv_r6) * inv_r2
+    forces = np.sum(fmag[:, :, None] * delta, axis=1)
+    velocities += dt * forces
+    positions += dt * velocities
+    positions %= box
+    energy = float(np.sum(np.where(mask, 4.0 * (inv_r6 * inv_r6 - inv_r6), 0.0)) / 2)
+    return energy
+
+
+def scf_residual_step(
+    coeffs: np.ndarray, hamiltonian: np.ndarray, mix: float = 0.3
+) -> float:
+    """One toy SCF mixing step on a small dense 'Hamiltonian': apply,
+    orthogonalize by norm, mix.  Returns the residual norm (the DFT
+    proxy's convergence quantity, reduced across ranks)."""
+    applied = hamiltonian @ coeffs
+    norm = np.linalg.norm(applied)
+    if norm > 0:
+        applied /= norm
+    residual = float(np.linalg.norm(applied - coeffs))
+    coeffs *= 1.0 - mix
+    coeffs += mix * applied
+    return residual
+
+
+def factor3(n: int) -> tuple:
+    """Factor n into three factors as close to cubic as possible
+    (rank-grid decomposition for the MD proxy)."""
+    best = (n, 1, 1)
+    best_score = None
+    for a in range(1, int(round(n ** (1 / 3))) + 2):
+        if n % a:
+            continue
+        m = n // a
+        for b in range(a, int(m ** 0.5) + 2):
+            if m % b:
+                continue
+            c = m // b
+            dims = tuple(sorted((a, b, c), reverse=True))
+            score = max(dims) - min(dims)
+            if best_score is None or score < best_score:
+                best, best_score = dims, score
+    return best

@@ -1,0 +1,38 @@
+"""The nine VASP benchmark workloads of the paper's Table I.
+
+Each case was chosen by the paper "to cover the representative VASP
+workloads and to exercise different code paths": functional (DFT / VDW /
+HSE / GW0), electronic-minimization algorithm (RMM-DIIS / blocked
+Davidson / CG), and k-point mesh all select different communication
+mixes in the proxy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.dft_proxy import VaspWorkload
+
+TABLE_I: List[VaspWorkload] = [
+    VaspWorkload("PdO4", 3288, 348, "DFT", "RMM", "VeryFast", (1, 1, 1)),
+    VaspWorkload("GaAsBi-64", 266, 64, "DFT", "BD+RMM", "Fast", (4, 4, 4)),
+    VaspWorkload("CuC_vdw", 1064, 98, "VDW", "RMM", "VeryFast", (3, 3, 1)),
+    VaspWorkload("Si256_hse", 1020, 255, "HSE", "CG", "Damped", (1, 1, 1)),
+    VaspWorkload("B.hR105_hse", 315, 105, "HSE", "CG", "Damped", (1, 1, 1)),
+    VaspWorkload("PdO2", 1644, 174, "DFT", "RMM", "VeryFast", (1, 1, 1)),
+    VaspWorkload("CaPOH", 288, 44, "DFT", "BD", "Normal", (2, 1, 1)),
+    VaspWorkload("WOSiH", 80, 18, "HSE", "BD+RMM", "Fast", (3, 3, 3)),
+    VaspWorkload("GaAs-GW0", 8, 2, "GW0", "BD", "Normal", (3, 3, 3)),
+]
+
+BY_NAME: Dict[str, VaspWorkload] = {w.name: w for w in TABLE_I}
+
+
+def workload(name: str) -> VaspWorkload:
+    """Look up a Table I workload by name (e.g. ``"CaPOH"``)."""
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown VASP workload {name!r}; known: {sorted(BY_NAME)}"
+        ) from None

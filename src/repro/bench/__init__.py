@@ -1,0 +1,28 @@
+"""Benchmark harness: scale control, result recording, rendering.
+
+Every table and figure of the paper has one file under ``benchmarks/``;
+this package holds what they share — the quick/full scale switch
+(``REPRO_BENCH_SCALE=full`` runs paper-scale rank counts), result
+persistence under ``results/``, and the experiment runners that drive
+native and MANA sessions and extract the series each figure plots.
+"""
+
+from repro.bench.harness import (
+    BenchScale,
+    current_scale,
+    save_result,
+    fig2_point,
+    table2_cell,
+    checkpoint_rounds,
+    collective_rate_point,
+)
+
+__all__ = [
+    "BenchScale",
+    "current_scale",
+    "save_result",
+    "fig2_point",
+    "table2_cell",
+    "checkpoint_rounds",
+    "collective_rate_point",
+]

@@ -1,0 +1,138 @@
+"""Shared experiment runners for the paper's tables and figures."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.dft_proxy import DftConfig, DftProxy, VaspWorkload
+from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.hosts.machine import MachineSpec
+from repro.mana.config import ManaConfig
+from repro.mana.session import CheckpointPlan, ManaSession, RunOutcome, run_app_native
+
+
+class BenchScale(enum.Enum):
+    """Benchmark scale: quick (CI-sized) or full (paper-sized sweeps)."""
+
+    QUICK = "quick"
+    FULL = "full"
+
+
+def current_scale() -> BenchScale:
+    value = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    try:
+        return BenchScale(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={value!r}; use 'quick' or 'full'"
+        ) from None
+
+
+def results_dir() -> pathlib.Path:
+    root = pathlib.Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def save_result(name: str, text: str, data: Optional[dict] = None) -> None:
+    """Persist a rendered table/figure and its raw data under results/."""
+    out = results_dir()
+    (out / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        (out / f"{name}.json").write_text(json.dumps(data, indent=2, default=str))
+    print("\n" + text)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: GROMACS strong scaling, native vs MANA
+# ----------------------------------------------------------------------
+
+def fig2_point(
+    nranks: int,
+    machine: MachineSpec,
+    cfg: Optional[ManaConfig],
+    steps: int,
+) -> RunOutcome:
+    """One bar of Figure 2: the MD proxy at ``nranks`` on ``machine``,
+    natively (cfg None) or under MANA."""
+    md = MdConfig(nranks=nranks, steps=steps)
+    factory = lambda r: MdProxy(r, md, machine)
+    if cfg is None:
+        return run_app_native(nranks, factory, machine)
+    return ManaSession(nranks, factory, machine, cfg).run()
+
+
+# ----------------------------------------------------------------------
+# Table II: CaPOH on 128 ranks, native vs master vs feature/2pc
+# ----------------------------------------------------------------------
+
+def table2_cell(
+    machine: MachineSpec,
+    cfg: Optional[ManaConfig],
+    workload: VaspWorkload,
+    nranks: int,
+    iterations: int,
+) -> RunOutcome:
+    dft = DftConfig(nranks=nranks, workload=workload, iterations=iterations)
+    factory = lambda r: DftProxy(r, dft, machine)
+    if cfg is None:
+        return run_app_native(nranks, factory, machine)
+    return ManaSession(nranks, factory, machine, cfg).run()
+
+
+# ----------------------------------------------------------------------
+# Figure 3: repeated checkpoint/restart rounds of the MD proxy
+# ----------------------------------------------------------------------
+
+def checkpoint_rounds(
+    nranks: int,
+    machine: MachineSpec,
+    cfg: ManaConfig,
+    rounds: int,
+    steps: int,
+    action: str = "restart",
+) -> RunOutcome:
+    """Run the MD proxy with ``rounds`` evenly spaced checkpoints."""
+    md = MdConfig(nranks=nranks, steps=steps)
+    factory = lambda r: MdProxy(r, md, machine)
+    probe = ManaSession(nranks, factory, machine, cfg).run()
+    plans = [
+        CheckpointPlan(at=probe.elapsed * (i + 1) / (rounds + 1), action=action)
+        for i in range(rounds)
+    ]
+    session = ManaSession(nranks, factory, machine, cfg)
+    out = session.run(checkpoints=plans)
+    if out.results != probe.results:
+        raise AssertionError(
+            "checkpoint/restart rounds changed the MD trajectory"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 4: collective calls per second per process vs node count
+# ----------------------------------------------------------------------
+
+def collective_rate_point(
+    nodes: int,
+    machine: MachineSpec,
+    workload: VaspWorkload,
+    iterations: int,
+) -> Dict[str, float]:
+    nranks = nodes * machine.ranks_per_node
+    dft = DftConfig(nranks=nranks, workload=workload, iterations=iterations)
+    factory = lambda r: DftProxy(r, dft, machine)
+    out = run_app_native(nranks, factory, machine)
+    rate = out.total_collective_calls / out.elapsed / nranks
+    return {
+        "nodes": nodes,
+        "nranks": nranks,
+        "elapsed": out.elapsed,
+        "collective_calls_total": out.total_collective_calls,
+        "collectives_per_sec_per_process": rate,
+    }

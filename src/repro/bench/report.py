@@ -1,0 +1,88 @@
+"""Consolidated experiment report: collate ``results/`` into one page.
+
+``repro-mana report`` (or :func:`build_report`) stitches every rendered
+table under the results directory into a single markdown document with
+the experiment-to-paper mapping — the quick way to eyeball a full
+regeneration against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Tuple
+
+#: (results file stem, paper anchor, one-line description), in the order
+#: the paper presents them
+SECTIONS: List[Tuple[str, str, str]] = [
+    ("fig2_gromacs_runtime", "Figure 2",
+     "GROMACS (MD proxy) runtime, native vs MANA, strong scaling"),
+    ("fig3_ckpt_restart", "Figure 3",
+     "checkpoint/restart rounds on the burst buffer"),
+    ("fig4_vasp_collectives", "Figure 4",
+     "VASP collective calls per second per process"),
+    ("table1_vasp_workloads", "Table I",
+     "nine VASP workloads, checkpoint/restart matrix"),
+    ("table2_capoh_overhead", "Table II",
+     "CaPOH at 128 ranks: native / master / feature-2pc"),
+    ("motivation_app_level_cr", "Section I",
+     "transparent vs application-level checkpoint latency"),
+    ("ablation_barrier", "Section III-D",
+     "barrier before collectives: Bcast vs Allreduce"),
+    ("ablation_drain", "Section III-B",
+     "drain: coordinator totals vs per-pair alltoall"),
+    ("ablation_request_gc", "Section III-A / III-I.4",
+     "request retirement and replay-log growth"),
+    ("ablation_fsreg", "Section III-G",
+     "FS-register switch cost tiers"),
+    ("ablation_rank_helper", "Section III-I.3",
+     "multi-call rank-translation helper"),
+    ("ablation_vtable", "Section III-I.1",
+     "virtual-ID table: ordered map vs hash"),
+    ("ablation_comm_restart", "Section III-C",
+     "restart: active list vs creation-log replay"),
+    ("ablation_straggler", "Section III-J",
+     "straggler impact on checkpoint latency"),
+    ("related_hpcg_scale", "Section V",
+     "HPCG checkpoint/restart at scale"),
+    ("future_perlmutter", "Section I/VI",
+     "MANA on a Perlmutter-class machine (FSGSBASE)"),
+    ("simulator_throughput", "infrastructure",
+     "substrate event throughput"),
+]
+
+
+def build_report(results_dir: str = "results") -> str:
+    root = pathlib.Path(results_dir)
+    lines = [
+        "# Regenerated experiment report",
+        "",
+        f"Source: `{root}/` (run `pytest benchmarks/ --benchmark-only` "
+        "to regenerate; `REPRO_BENCH_SCALE=full` for paper-scale sweeps).",
+        "",
+    ]
+    missing = []
+    for stem, anchor, desc in SECTIONS:
+        path = root / f"{stem}.txt"
+        lines.append(f"## {anchor} — {desc}")
+        lines.append("")
+        if path.exists():
+            lines.append("```")
+            lines.append(path.read_text().rstrip())
+            lines.append("```")
+        else:
+            lines.append(f"*missing — `{path}` not found*")
+            missing.append(stem)
+        lines.append("")
+    if missing:
+        lines.append(
+            f"**{len(missing)} experiment(s) missing**: " + ", ".join(missing)
+        )
+    return "\n".join(lines)
+
+
+def write_report(results_dir: str = "results",
+                 out: Optional[str] = None) -> str:
+    text = build_report(results_dir)
+    out_path = pathlib.Path(out) if out else pathlib.Path(results_dir) / "REPORT.md"
+    out_path.write_text(text + "\n")
+    return str(out_path)

@@ -1,0 +1,293 @@
+"""``repro-mana`` — command-line driver for the reproduction.
+
+Subcommands:
+
+* ``run`` — run a workload (MD proxy / a Table I VASP case / token ring)
+  natively or under a MANA configuration, optionally with checkpoints;
+* ``workloads`` — list the Table I benchmark cases;
+* ``machines`` — list the machine models;
+* ``configs`` — show the MANA branch presets and their knobs;
+* ``demo`` — run one of the built-in demonstrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.apps.dft_proxy import DftConfig, DftProxy
+from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.apps.micro import TokenRing
+from repro.apps.workloads import BY_NAME, TABLE_I
+from repro.hosts import CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX, machine_by_name
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import (
+    HALTED,
+    CheckpointPlan,
+    resume_from_checkpoint,
+    run_app_native,
+)
+from repro.util.tables import AsciiTable
+
+CONFIGS = {
+    "original": ManaConfig.original,
+    "master": ManaConfig.master,
+    "2pc": ManaConfig.feature_2pc,
+}
+
+
+def _build_factory(args, machine):
+    if args.app == "md":
+        md = MdConfig(nranks=args.ranks, steps=args.steps)
+        return lambda r: MdProxy(r, md, machine)
+    if args.app == "vasp":
+        dft = DftConfig(
+            nranks=args.ranks,
+            workload=BY_NAME[args.workload],
+            iterations=args.iterations,
+            vasp6=args.vasp6,
+        )
+        return lambda r: DftProxy(r, dft, machine)
+    if args.app == "ring":
+        return lambda r: TokenRing(r, laps=args.steps)
+    raise SystemExit(f"unknown app {args.app!r}")
+
+
+def cmd_run(args) -> int:
+    machine = machine_by_name(args.machine)
+    factory = _build_factory(args, machine)
+    if args.config == "native":
+        if args.halt_at is not None:
+            raise SystemExit("--halt-at requires a MANA configuration")
+        out = run_app_native(args.ranks, factory, machine)
+    else:
+        cfg = CONFIGS[args.config]()
+        plans = []
+        if args.checkpoint_at:
+            plans = [
+                CheckpointPlan(at=t, action=args.action)
+                for t in args.checkpoint_at
+            ]
+        if args.halt_at is not None:
+            cfg = cfg.but(record_replay=True)
+            plans.append(CheckpointPlan(at=args.halt_at, action="halt"))
+        session = ManaSession(args.ranks, factory, machine, cfg)
+        out = session.run(
+            checkpoints=plans,
+            checkpoint_interval=args.checkpoint_interval,
+            interval_action=args.action,
+        )
+        if args.halt_at is not None:
+            path = args.image_out or "mana.ckpt"
+            nbytes = session.save_checkpoint(path)
+            print(f"halted after checkpoint; image saved to {path} "
+                  f"({nbytes / 1e3:.0f} kB); resume with:")
+            print(f"  repro-mana resume --image {path} --app {args.app} "
+                  f"--ranks {args.ranks} --machine {args.machine} ...")
+    print(f"mode         : {args.config}")
+    print(f"elapsed      : {out.elapsed:.6f} virtual seconds")
+    print(f"collectives  : {out.total_collective_calls}")
+    print(f"pt2pt calls  : {out.total_pt2pt_calls}")
+    print(f"net messages : {out.network_messages} "
+          f"({out.network_bytes / 1e6:.2f} MB)")
+    for i, rec in enumerate(out.checkpoints):
+        if rec.get("skipped"):
+            print(f"checkpoint {i}: skipped (requested after the "
+                  "computation finished)")
+            continue
+        print(f"checkpoint {i}: quiesce {rec.get('quiesce_time', 0):.6f}s, "
+              f"total {rec.get('checkpoint_time', 0):.6f}s, "
+              f"images {rec.get('image_bytes_total', 0) / 1e9:.2f} GB, "
+              f"restart {rec.get('restart_time', 0.0):.6f}s")
+    if args.show_results:
+        for r, result in enumerate(out.results):
+            print(f"rank {r}: {result!r}")
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    t = AsciiTable(
+        ["name", "electrons", "ions", "functional", "algo", "k-points"],
+        title="Table I VASP workloads",
+    )
+    for w in TABLE_I:
+        t.add_row(
+            [w.name, w.electrons, w.ions, w.functional,
+             f"{w.algo} ({w.algo_flavor})",
+             "x".join(str(k) for k in w.kpoints)]
+        )
+    print(t.render())
+    return 0
+
+
+def cmd_machines(_args) -> int:
+    t = AsciiTable(
+        ["name", "cores/node", "GHz", "Gflop/s/task", "ranks/node",
+         "kernel", "FSGSBASE"],
+        title="machine models",
+    )
+    for m in (CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX):
+        t.add_row(
+            [m.name, m.cores_per_node, m.cpu_ghz,
+             f"{m.flops_per_task / 1e9:.1f}", m.ranks_per_node,
+             m.linux_kernel, "yes" if m.fsgsbase_available() else "no"]
+        )
+    print(t.render())
+    return 0
+
+
+def cmd_configs(_args) -> int:
+    t = AsciiTable(
+        ["preset", "collectives", "drain", "vtable", "restart",
+         "FS tier", "req GC", "lambdas"],
+        title="MANA branch presets (paper Section IV)",
+    )
+    for name, maker in CONFIGS.items():
+        c = maker()
+        t.add_row(
+            [name, c.collective_mode.value, c.drain.value, c.vtable.value,
+             c.comm_reconstruction.value, c.fs_tier.value,
+             "on" if c.request_gc else "off",
+             "yes" if c.lambda_frames else "no"]
+        )
+    print(t.render())
+    return 0
+
+
+def cmd_resume(args) -> int:
+    machine = machine_by_name(args.machine)
+    factory = _build_factory(args, machine)
+    cfg = CONFIGS[args.config]()
+    session = resume_from_checkpoint(args.image, factory, machine, cfg)
+    out = session.run()
+    print(f"resumed from {args.image}; finished at "
+          f"{out.elapsed:.6f} virtual seconds")
+    if args.show_results:
+        for r, result in enumerate(out.results):
+            print(f"rank {r}: {result!r}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import os
+    import subprocess
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ, REPRO_BENCH_SCALE=args.scale)
+    cmd = [sys.executable, "-m", "pytest", str(root / "benchmarks"),
+           "--benchmark-only", "-q"]
+    if args.only:
+        cmd += ["-k", args.only]
+    print("+", " ".join(cmd), f"(REPRO_BENCH_SCALE={args.scale})")
+    return subprocess.call(cmd, env=env, cwd=root)
+
+
+def cmd_report(args) -> int:
+    from repro.bench.report import write_report
+
+    path = write_report(args.results_dir, args.out)
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    demos = {"quickstart", "deadlock", "job-chaining"}
+    if args.name not in demos:
+        raise SystemExit(f"unknown demo {args.name!r}; choose from {demos}")
+    name = {"deadlock": "deadlock_demo",
+            "job-chaining": "job_chaining",
+            "quickstart": "quickstart"}[args.name]
+    path = Path(__file__).resolve().parents[2] / "examples" / f"{name}.py"
+    if not path.exists():
+        raise SystemExit(f"examples/{name}.py not found at {path}")
+    runpy.run_path(str(path), run_name="__main__")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-mana", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a workload")
+    run.add_argument("--app", choices=["md", "vasp", "ring"], default="md")
+    run.add_argument("--ranks", type=int, default=16)
+    run.add_argument("--steps", type=int, default=10,
+                     help="MD steps / ring laps")
+    run.add_argument("--iterations", type=int, default=3,
+                     help="SCF iterations (vasp app)")
+    run.add_argument("--workload", default="CaPOH", choices=sorted(BY_NAME))
+    run.add_argument("--vasp6", action="store_true")
+    run.add_argument("--machine", default="testbox",
+                     choices=["haswell", "knl", "perlmutter", "testbox"])
+    run.add_argument("--config", default="2pc",
+                     choices=["native", "original", "master", "2pc"])
+    run.add_argument("--checkpoint-at", type=float, nargs="*",
+                     help="virtual times to checkpoint at")
+    run.add_argument("--checkpoint-interval", type=float, default=None,
+                     help="DMTCP-style -i: checkpoint every N virtual seconds")
+    run.add_argument("--action", default="restart",
+                     choices=["resume", "restart"],
+                     help="what to do after each checkpoint")
+    run.add_argument("--halt-at", type=float, default=None,
+                     help="checkpoint at this virtual time, save the image "
+                          "to --image-out, and terminate (job chaining)")
+    run.add_argument("--image-out", default=None,
+                     help="image file for --halt-at (default mana.ckpt)")
+    run.add_argument("--show-results", action="store_true")
+    run.set_defaults(fn=cmd_run)
+
+    res = sub.add_parser(
+        "resume", help="resume a halted run from its image file (REEXEC)"
+    )
+    res.add_argument("--image", required=True)
+    res.add_argument("--app", choices=["md", "vasp", "ring"], default="md")
+    res.add_argument("--ranks", type=int, default=16)
+    res.add_argument("--steps", type=int, default=10)
+    res.add_argument("--iterations", type=int, default=3)
+    res.add_argument("--workload", default="CaPOH", choices=sorted(BY_NAME))
+    res.add_argument("--vasp6", action="store_true")
+    res.add_argument("--machine", default="testbox",
+                     choices=["haswell", "knl", "perlmutter", "testbox"])
+    res.add_argument("--config", default="2pc",
+                     choices=["original", "master", "2pc"])
+    res.add_argument("--show-results", action="store_true")
+    res.set_defaults(fn=cmd_resume)
+
+    wl = sub.add_parser("workloads", help="list Table I workloads")
+    wl.set_defaults(fn=cmd_workloads)
+    mm = sub.add_parser("machines", help="list machine models")
+    mm.set_defaults(fn=cmd_machines)
+    cf = sub.add_parser("configs", help="list MANA presets")
+    cf.set_defaults(fn=cmd_configs)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's tables and figures"
+    )
+    bench.add_argument("--scale", choices=["quick", "full"], default="quick")
+    bench.add_argument("--only", default=None,
+                       help="substring filter on bench files (pytest -k)")
+    bench.set_defaults(fn=cmd_bench)
+
+    rep = sub.add_parser(
+        "report", help="collate results/ into one markdown report"
+    )
+    rep.add_argument("--results-dir", default="results")
+    rep.add_argument("--out", default=None)
+    rep.set_defaults(fn=cmd_report)
+
+    demo = sub.add_parser("demo", help="run a built-in demonstration")
+    demo.add_argument("name", choices=["quickstart", "deadlock",
+                                       "job-chaining"])
+    demo.set_defaults(fn=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

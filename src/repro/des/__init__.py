@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+Simulated processes (MPI ranks, non-blocking-collective helpers, the MANA
+coordinator) are Python generator coroutines driven by a single
+:class:`~repro.des.scheduler.Scheduler` with a virtual clock.  A process
+interacts with the kernel only by yielding syscall objects:
+
+* ``Advance(dt)`` — consume ``dt`` seconds of virtual time (compute,
+  per-call software overhead, ...);
+* ``Park(reason)`` — block until some other component calls
+  :meth:`Scheduler.wake`; the value passed to ``wake`` becomes the result
+  of the ``yield``.
+
+Determinism: the event queue breaks time ties with a monotonically
+increasing sequence number, and nothing in the kernel consults wall-clock
+time or unseeded randomness, so a simulation is a pure function of its
+inputs.  Deadlock detection is built in: if the event queue empties while
+a non-daemon process is parked, the kernel raises
+:class:`repro.errors.DeadlockError` with each process's wait reason —
+this is how the paper's Section III-E barrier-before-Bcast deadlock is
+observed in tests.
+"""
+
+from repro.des.syscalls import Advance, Park, Syscall
+from repro.des.process import Proc, ProcState
+from repro.des.scheduler import Scheduler
+
+__all__ = ["Advance", "Park", "Syscall", "Proc", "ProcState", "Scheduler"]

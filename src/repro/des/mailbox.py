@@ -1,0 +1,53 @@
+"""Mailbox: a FIFO rendezvous between event callbacks and coroutines.
+
+Used by the out-of-band coordinator channel and by internal helpers that
+need to hand values from delivery callbacks (plain functions run by the
+scheduler) to parked coroutine processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.des.process import Proc
+from repro.des.scheduler import Scheduler
+from repro.des.syscalls import Park
+
+
+class Mailbox:
+    """Unbounded FIFO with a single blocking reader at a time."""
+
+    def __init__(self, sched: Scheduler, name: str = "mailbox"):
+        self._sched = sched
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._reader: Optional[Proc] = None
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the parked reader if there is one."""
+        self._items.append(item)
+        if self._reader is not None:
+            reader, self._reader = self._reader, None
+            self._sched.wake(reader)
+
+    def get(self, proc: Proc) -> Generator:
+        """Coroutine: receive the next item, parking if none is queued.
+
+        ``proc`` must be the process object of the *calling* coroutine —
+        the kernel has no implicit "current process" notion, so blocking
+        primitives take it explicitly.
+        """
+        while not self._items:
+            if self._reader is not None and self._reader is not proc:
+                raise RuntimeError(f"{self.name}: second concurrent reader")
+            self._reader = proc
+            yield Park(f"{self.name}.get()")
+        return self._items.popleft()
+
+    def try_get(self) -> Any:
+        """Non-blocking receive; returns None if empty."""
+        return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,66 @@
+"""Simulated process: a generator coroutine plus kernel bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+
+class ProcState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    NEW = "new"          # spawned, first resume not yet scheduled/run
+    RUNNABLE = "runnable"  # has a pending resume event in the queue
+    PARKED = "parked"    # blocked in a Park syscall, awaiting wake()
+    DONE = "done"        # generator returned
+    FAILED = "failed"    # generator raised
+    KILLED = "killed"    # forcibly closed (restart teardown)
+
+
+class Proc:
+    """One simulated process owned by a :class:`Scheduler`.
+
+    ``daemon`` processes (the MANA coordinator, non-blocking-collective
+    helpers) do not keep the simulation alive and are exempt from
+    deadlock detection: a daemon parked forever is normal.
+    """
+
+    __slots__ = (
+        "name",
+        "gen",
+        "state",
+        "daemon",
+        "park_reason",
+        "result",
+        "error",
+        "_wake_pending",
+        "_wake_value",
+        "pid",
+    )
+
+    def __init__(self, name: str, gen: Generator, daemon: bool = False, pid: int = -1):
+        self.name = name
+        self.gen = gen
+        self.state = ProcState.NEW
+        self.daemon = daemon
+        self.park_reason: str = ""
+        #: value returned by the generator (StopIteration.value)
+        self.result: Any = None
+        #: exception that terminated the generator, if any
+        self.error: Optional[BaseException] = None
+        self._wake_pending = False
+        self._wake_value: Any = None
+        self.pid = pid
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcState.NEW, ProcState.RUNNABLE, ProcState.PARKED)
+
+    def kill(self) -> None:
+        """Forcibly terminate the process (used when tearing down a run)."""
+        if self.alive:
+            self.gen.close()
+            self.state = ProcState.KILLED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Proc {self.name} pid={self.pid} {self.state.value}>"

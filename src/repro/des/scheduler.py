@@ -1,0 +1,192 @@
+"""The discrete-event scheduler and virtual clock."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.des.process import Proc, ProcState
+from repro.des.syscalls import Advance, Park, Syscall
+
+
+class Scheduler:
+    """Single-threaded deterministic event loop with virtual time.
+
+    Events are ``(time, seq, fn)`` triples ordered by time then insertion
+    sequence, so simultaneous events run in a reproducible order.  All
+    simulated activity — process resumes, network deliveries, coordinator
+    timers — goes through :meth:`schedule`.
+    """
+
+    def __init__(self, max_events: int = 500_000_000):
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._pid = itertools.count()
+        self.procs: List[Proc] = []
+        self._events_run = 0
+        self._max_events = max_events
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # event primitives
+    # ------------------------------------------------------------------
+    def schedule(self, dt: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at virtual time ``now + dt``."""
+        if dt < 0:
+            raise SimulationError(f"cannot schedule an event {dt}s in the past")
+        heapq.heappush(self._queue, (self.now + dt, next(self._seq), fn))
+
+    def schedule_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute virtual time ``t`` (>= now)."""
+        self.schedule(max(0.0, t - self.now), fn)
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator, name: str, daemon: bool = False) -> Proc:
+        """Register a generator as a process and schedule its first step."""
+        proc = Proc(name=name, gen=gen, daemon=daemon, pid=next(self._pid))
+        self.procs.append(proc)
+        proc.state = ProcState.RUNNABLE
+        self.schedule(0.0, lambda: self._resume(proc, None))
+        return proc
+
+    def wake(self, proc: Proc, value: Any = None) -> None:
+        """Unblock a parked process; ``value`` becomes its yield result.
+
+        Waking is level-triggered and single-shot: waking a process that
+        is not parked is an error (it indicates a lost-wakeup/double-wake
+        bug in a protocol layer), except that waking an already-dead
+        process is silently ignored so teardown races stay benign.
+        """
+        if not proc.alive:
+            return
+        if proc.state is not ProcState.PARKED:
+            raise SimulationError(
+                f"wake() on {proc.name} which is {proc.state.value}, not parked"
+            )
+        if proc._wake_pending:
+            raise SimulationError(f"double wake() on {proc.name}")
+        proc._wake_pending = True
+        proc._wake_value = value
+        proc.state = ProcState.RUNNABLE
+        self.schedule(0.0, lambda: self._deliver_wake(proc))
+
+    def try_wake(self, proc: Proc, value: Any = None) -> bool:
+        """Wake ``proc`` if it is parked and not already being woken.
+
+        For wake sources that may race benignly (a request completion
+        racing a checkpoint-intent nudge): returns False instead of
+        raising when the process is not wakeable.
+        """
+        if (
+            not proc.alive
+            or proc.state is not ProcState.PARKED
+            or proc._wake_pending
+        ):
+            return False
+        self.wake(proc, value)
+        return True
+
+    def _deliver_wake(self, proc: Proc) -> None:
+        if proc.state is not ProcState.RUNNABLE or not proc._wake_pending:
+            return  # killed between wake() and delivery
+        proc._wake_pending = False
+        value, proc._wake_value = proc._wake_value, None
+        self._resume(proc, value)
+
+    def _resume(self, proc: Proc, send_value: Any) -> None:
+        """Drive ``proc`` until it parks, advances time, or finishes."""
+        if not proc.alive:
+            return
+        try:
+            item = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.state = ProcState.DONE
+            proc.result = stop.value
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded then re-raised
+            proc.state = ProcState.FAILED
+            proc.error = exc
+            raise
+        self._dispatch(proc, item)
+
+    def _dispatch(self, proc: Proc, item: Any) -> None:
+        if isinstance(item, Advance):
+            proc.state = ProcState.RUNNABLE
+            self.schedule(item.dt, lambda: self._resume(proc, None))
+        elif isinstance(item, Park):
+            proc.state = ProcState.PARKED
+            proc.park_reason = item.reason
+        elif isinstance(item, Syscall):  # pragma: no cover - future syscalls
+            raise SimulationError(f"unhandled syscall {item!r} from {proc.name}")
+        else:
+            raise SimulationError(
+                f"{proc.name} yielded {item!r}; processes must yield Advance/Park "
+                "(did a library coroutine forget 'yield from'?)"
+            )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until completion, deadlock, or virtual time ``until``.
+
+        Completion means every non-daemon process has finished.  If the
+        event queue drains while a non-daemon process is still parked,
+        a :class:`DeadlockError` is raised with the full park report.
+        """
+        if self._running:
+            raise SimulationError("scheduler is not reentrant")
+        self._running = True
+        try:
+            while True:
+                if until is not None and self._queue and self._queue[0][0] > until:
+                    self.now = until
+                    return
+                if not self._queue:
+                    self._on_queue_empty()
+                    return
+                t, _seq, fn = heapq.heappop(self._queue)
+                if t < self.now:
+                    raise SimulationError("event queue went backwards in time")
+                self.now = t
+                self._events_run += 1
+                if self._events_run > self._max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self._max_events}; "
+                        "likely a livelock in a polling loop"
+                    )
+                fn()
+        finally:
+            self._running = False
+
+    def _on_queue_empty(self) -> None:
+        parked = [
+            (p.name, p.park_reason)
+            for p in self.procs
+            if p.state is ProcState.PARKED and not p.daemon
+        ]
+        if parked:
+            lines = ["deadlock: event queue empty with parked processes:"]
+            lines += [f"  - {name}: waiting on {reason}" for name, reason in parked]
+            raise DeadlockError("\n".join(lines), parked)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def unfinished(self) -> List[Proc]:
+        """Non-daemon processes that have not completed."""
+        return [p for p in self.procs if not p.daemon and p.state is not ProcState.DONE]
+
+    def kill_all(self) -> None:
+        """Forcibly terminate every process (restart teardown support)."""
+        for p in self.procs:
+            p.kill()

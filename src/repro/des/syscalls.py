@@ -1,0 +1,44 @@
+"""Syscall objects yielded by simulated processes to the kernel."""
+
+from __future__ import annotations
+
+
+class Syscall:
+    """Base class for objects a process generator may yield."""
+
+    __slots__ = ()
+
+
+class Advance(Syscall):
+    """Consume ``dt`` seconds of virtual time, then resume.
+
+    ``Advance(0.0)`` is a cooperative yield: the process goes to the back
+    of the current-instant event queue, letting same-time events (message
+    deliveries, wakes of other processes) run first.
+    """
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"cannot advance time by a negative amount: {dt}")
+        self.dt = float(dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Advance({self.dt!r})"
+
+
+class Park(Syscall):
+    """Block until another component wakes this process.
+
+    ``reason`` is a human-readable description ("MPI_Recv from rank 3
+    tag 7", "barrier on comm 0x2a") surfaced in deadlock reports.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = "parked"):
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Park({self.reason!r})"

@@ -1,0 +1,74 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every layer of the stack (DES kernel, simulated network, simulated MPI
+library, MANA runtime) raises exceptions rooted at :class:`ReproError`
+so callers can catch simulation failures without masking genuine Python
+bugs (``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """A violation of the discrete-event kernel's invariants."""
+
+
+class DeadlockError(SimulationError):
+    """All live simulated processes are parked and no event can wake them.
+
+    Carries a human-readable report of each parked process and the reason
+    it is waiting, which is what the paper's Section III-E deadlock
+    (barrier-before-Bcast) test inspects.
+    """
+
+    def __init__(self, report: str, parked: "list[tuple[str, str]]"):
+        super().__init__(report)
+        #: list of (process name, wait reason) pairs at the time of deadlock
+        self.parked = parked
+
+
+class MpiError(ReproError):
+    """An error raised by the simulated MPI library (the "lower half")."""
+
+
+class MpiInvalidHandle(MpiError):
+    """An operation referenced a freed or never-created MPI object."""
+
+
+class MpiTruncationError(MpiError):
+    """A receive buffer was smaller than the matched message."""
+
+
+class UnsupportedMpiFeature(MpiError):
+    """The application used an MPI feature the runtime does not support.
+
+    MANA-2.0 raises this for the ``MPI_Win_`` one-sided family, mirroring
+    the paper's statement that one-sided communication is unsupported and
+    that VASP 6 must be compiled with ``MPI_Win`` usage disabled.
+    """
+
+
+class ManaError(ReproError):
+    """An error raised by the MANA checkpoint/restart runtime."""
+
+
+class CheckpointError(ManaError):
+    """Checkpoint could not be taken (drain failure, unsafe state, ...)."""
+
+
+class RestartError(ManaError):
+    """Restart could not reconstruct a consistent computation."""
+
+
+class DrainError(CheckpointError):
+    """The point-to-point drain algorithm failed to settle the network."""
+
+
+class HaltSignal(ReproError):
+    """Raised through a rank's program to terminate it after a "halt"
+    checkpoint (the job was killed after writing its image; a REEXEC
+    session resumes it from the file)."""

@@ -1,0 +1,26 @@
+"""Machine models: node/CPU specs, compute-cost translation, burst buffer.
+
+The experiments in the paper run on Cori, a Cray XC40 at NERSC with
+dual-socket Intel Haswell nodes and single-socket KNL nodes on an Aries
+network, writing checkpoints to a burst buffer.  This package models the
+pieces of that platform that MANA's behaviour actually depends on:
+per-core effective compute speed (converts workload flops into virtual
+seconds), network latency/bandwidth/per-message overhead (drives
+collective and drain costs), software-overhead scaling (MANA wrapper code
+runs slower on the 1.4 GHz KNL cores than on 2.3 GHz Haswell), kernel
+version (selects the FS-register cost tier of Section III-G), and burst
+buffer bandwidth (drives Figure 3 checkpoint/restart times).
+"""
+
+from repro.hosts.machine import MachineSpec, BurstBuffer
+from repro.hosts.presets import CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX, machine_by_name
+
+__all__ = [
+    "MachineSpec",
+    "BurstBuffer",
+    "CORI_HASWELL",
+    "CORI_KNL",
+    "PERLMUTTER",
+    "TESTBOX",
+    "machine_by_name",
+]

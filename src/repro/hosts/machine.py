@@ -1,0 +1,98 @@
+"""Machine and burst-buffer specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BurstBuffer:
+    """Checkpoint I/O model (Cori's DataWarp burst buffer).
+
+    Writing ``nbytes`` from one node costs ``latency + nbytes/write_bw``;
+    reads analogously.  Aggregate bandwidth is per *node* because DataWarp
+    stripes each node's stream across SSD servers and compute nodes rarely
+    saturate the aggregate in practice.
+    """
+
+    latency: float = 0.5e-3          # seconds to open/seal a stripe
+    write_bw: float = 1.6e9          # bytes/s sustained per node
+    read_bw: float = 2.1e9           # bytes/s sustained per node
+
+    def write_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.write_bw
+
+    def read_time(self, nbytes: int) -> float:
+        return self.latency + nbytes / self.read_bw
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Everything the simulator needs to know about a platform.
+
+    ``flops_per_task`` is the *effective* (not peak) rate at which one MPI
+    task retires workload floating-point work; ``sw_overhead_scale``
+    converts nominal software-overhead constants (quoted for a 2.3 GHz
+    Haswell core) into this machine's virtual time — MANA's wrapper code,
+    FS-register manipulation, and map lookups all execute on the host core
+    and thus run slower on KNL.
+    """
+
+    name: str
+    cores_per_node: int
+    threads_per_core: int
+    cpu_ghz: float
+    flops_per_task: float            # effective flop/s per MPI task
+    sw_overhead_scale: float         # multiplier on software overhead constants
+    ranks_per_node: int              # default MPI tasks per node in experiments
+    omp_threads_per_rank: int = 1    # paper runs KNL with 2 OpenMP threads/task
+    #: extra multiplier on MANA-only software overhead: on a fully
+    #: subscribed node (Haswell: 32 ranks on 32 cores) MANA's checkpoint
+    #: thread and wrapper polling contend with application threads for
+    #: hardware threads; on KNL (32 ranks on 68 cores) they run on idle
+    #: cores.  Applied by mana_sw_time(), not by native runs.
+    mana_contention: float = 1.0
+
+    # network (Cray Aries-like)
+    net_latency: float = 1.3e-6      # inter-node one-way latency, seconds
+    net_bandwidth: float = 8.0e9     # inter-node bytes/s per rank-pair stream
+    intranode_latency: float = 0.35e-6
+    intranode_bandwidth: float = 30.0e9
+    send_overhead: float = 0.25e-6   # CPU time to inject one message
+    recv_overhead: float = 0.25e-6   # CPU time to extract one message
+
+    linux_kernel: str = "4.12"       # Cori's CLE 7.0.UP01 kernel
+    mem_per_node: int = 128 << 30
+    #: fixed per-process checkpoint-image overhead (code, shared
+    #: libraries, heap fragmentation) on this platform, bytes
+    base_image_bytes: int = 96 << 20
+
+    burst_buffer: BurstBuffer = field(default_factory=BurstBuffer)
+
+    # ------------------------------------------------------------------
+    def node_of(self, world_rank: int) -> int:
+        """Map a world rank to its node under block placement."""
+        return world_rank // self.ranks_per_node
+
+    def compute_time(self, flops: float) -> float:
+        """Virtual seconds for one task to retire ``flops`` of work."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.flops_per_task
+
+    def sw_time(self, nominal_seconds: float) -> float:
+        """Virtual seconds for software overhead quoted at nominal speed."""
+        return nominal_seconds * self.sw_overhead_scale
+
+    def mana_sw_time(self, nominal_seconds: float) -> float:
+        """Virtual seconds for MANA wrapper/bookkeeping overhead: scaled
+        by core speed and by MANA's contention with application threads."""
+        return nominal_seconds * self.sw_overhead_scale * self.mana_contention
+
+    def fsgsbase_available(self) -> bool:
+        """Linux >= 5.9 exposes unprivileged FSGSBASE (paper Section III-G)."""
+        try:
+            major, minor = (int(x) for x in self.linux_kernel.split(".")[:2])
+        except ValueError:
+            return False
+        return (major, minor) >= (5, 9)

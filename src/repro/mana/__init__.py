@@ -1,0 +1,49 @@
+"""``repro.mana`` — the MANA-2.0 transparent checkpointing runtime.
+
+This is the paper's contribution, reimplemented on the simulated
+substrate.  The package mirrors MANA's architecture:
+
+* :mod:`~repro.mana.wrappers` — the stub MPI library handed to the
+  application (the upper half); every MPI call goes through a wrapper
+  that does two-phase-commit bookkeeping, virtual-to-real translation,
+  and a costed "jump to the lower half" (Fig. 1 of the paper).
+* :mod:`~repro.mana.vtables`, :mod:`~repro.mana.requests`,
+  :mod:`~repro.mana.comms` — virtualization of MPI objects with the
+  MANA-2.0 algorithms: hash-backed ID tables, two-step request
+  retirement (Section III-A), active-communicator reconstruction
+  (Section III-C).
+* :mod:`~repro.mana.twophase`, :mod:`~repro.mana.coordinator` — the
+  two-phase-commit algorithms (original barrier-always, the flawed
+  no-barrier revision, and the hybrid of Sections III-J/III-L) and the
+  DMTCP-style centralized coordinator with the globally-unique
+  communicator IDs of Section III-K.
+* :mod:`~repro.mana.drain` — point-to-point drain, both the original
+  coordinator-mediated algorithm and MANA-2.0's alltoall algorithm
+  (Section III-B).
+* :mod:`~repro.mana.checkpoint` / :mod:`~repro.mana.restart` — image
+  format, lower-half teardown/reconstruction, and non-blocking
+  collective replay.
+* :mod:`~repro.mana.session` — the user-facing driver: run an
+  application natively or under MANA, checkpoint it, restart it.
+"""
+
+from repro.mana.config import (
+    CollectiveMode,
+    CommReconstruction,
+    DrainAlgorithm,
+    FsTier,
+    ManaConfig,
+    VtableBackend,
+)
+from repro.mana.session import ManaSession, RunOutcome
+
+__all__ = [
+    "ManaConfig",
+    "CollectiveMode",
+    "CommReconstruction",
+    "DrainAlgorithm",
+    "FsTier",
+    "VtableBackend",
+    "ManaSession",
+    "RunOutcome",
+]

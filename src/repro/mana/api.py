@@ -1,0 +1,406 @@
+"""The MPI API surface handed to applications, and its native binding.
+
+Applications are written against this one interface and run unchanged
+either *natively* (thin binding straight to the lower half — the blue
+bars of the paper's Figure 2) or *under MANA* (the wrapper library of
+``repro.mana.wrappers`` — the red bars).  Communicators are opaque
+integer handles in both bindings; requests are :class:`RequestSlot`
+boxes modeling request variables in application memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.des.syscalls import Advance
+from repro.errors import MpiError, UnsupportedMpiFeature
+from repro.hosts.machine import MachineSpec
+from repro.mana.handles import RequestSlot
+from repro.mana.runtime import RankStats
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, COMM_NULL, REQUEST_NULL, TAG_UB, UNDEFINED
+from repro.simmpi.library import MpiLibrary, RankTask
+from repro.simmpi.ops import SUM, ReductionOp
+
+#: wrapper names that count as collective communication (Figure 4 metric)
+COLLECTIVE_OPS = {
+    "barrier", "bcast", "reduce", "allreduce", "gather", "scatter",
+    "allgather", "alltoall", "scan", "reduce_scatter_block",
+    "ibarrier", "ibcast", "ireduce", "iallreduce", "ialltoall", "iallgather",
+    "comm_split", "comm_dup", "comm_create",
+}
+PT2PT_OPS = {"send", "recv", "isend", "irecv", "sendrecv"}
+
+
+def validate_tag(tag: Any) -> None:
+    if isinstance(tag, int) and not 0 <= tag <= TAG_UB:
+        raise MpiError(f"application tag {tag} outside [0, MPI_TAG_UB]")
+
+
+class NativeApi:
+    """Direct binding to the simulated MPI library (no MANA)."""
+
+    def __init__(self, lib: MpiLibrary, task: RankTask, machine: MachineSpec):
+        self._lib = lib
+        self._task = task
+        self._machine = machine
+        self._comms: Dict[int, Any] = {}
+        self._next_handle = 1
+        self.COMM_WORLD = self._register(lib.comm_world)
+        self.stats = RankStats()
+
+    # ------------------------------------------------------------------
+    def _register(self, real) -> int:
+        handle = self._next_handle
+        self._next_handle += 1
+        self._comms[handle] = real
+        return handle
+
+    def _real(self, comm: Optional[int]):
+        if comm is None:
+            comm = self.COMM_WORLD
+        try:
+            return self._comms[comm]
+        except KeyError:
+            raise MpiError(f"unknown communicator handle {comm}") from None
+
+    def _count(self, name: str) -> None:
+        self.stats.count(name)
+        if name in COLLECTIVE_OPS:
+            self.stats.collective_calls += 1
+        elif name in PT2PT_OPS:
+            self.stats.pt2pt_calls += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._task.world_rank
+
+    @property
+    def size(self) -> int:
+        return self._lib.nranks
+
+    def comm_rank(self, comm: Optional[int] = None) -> int:
+        return self._lib.comm_rank(self._task, self._real(comm))
+
+    def comm_size(self, comm: Optional[int] = None) -> int:
+        return self._lib.comm_size(self._real(comm))
+
+    def compute(self, seconds: Optional[float] = None, flops: Optional[float] = None):
+        if flops is not None:
+            seconds = self._machine.compute_time(flops)
+        if seconds is None:
+            raise ValueError("compute() needs seconds or flops")
+        yield Advance(seconds)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(self, data, dest, tag: int = 0, comm: Optional[int] = None):
+        self._count("send")
+        validate_tag(tag)
+        yield from self._lib.send(self._task, self._real(comm), dest, tag, data)
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
+        self._count("recv")
+        result = yield from self._lib.recv(self._task, self._real(comm), source, tag)
+        return result
+
+    def isend(self, data, dest, tag: int = 0, comm: Optional[int] = None):
+        self._count("isend")
+        validate_tag(tag)
+        req = yield from self._lib.isend(self._task, self._real(comm), dest, tag, data)
+        return RequestSlot(req)
+
+    def irecv(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
+        self._count("irecv")
+        req = self._lib.irecv(self._task, self._real(comm), source, tag)
+        yield Advance(0.0)
+        return RequestSlot(req)
+
+    def test(self, slot: RequestSlot):
+        from repro.simmpi.request import RealPersistentRequest
+
+        if slot.is_null:
+            yield Advance(0.0)
+            return True, None, None
+        req = slot.value
+        flag, payload = self._lib.test(self._task, req)
+        yield Advance(0.0)
+        if flag:
+            if isinstance(req, RealPersistentRequest):
+                # persistent requests survive completion until freed
+                status = req.current.status if req.current is not None else None
+                return True, payload, status
+            status = req.status
+            slot.value = REQUEST_NULL
+            return True, payload, status
+        return False, None, None
+
+    def wait(self, slot: RequestSlot):
+        from repro.simmpi.request import RealPersistentRequest
+
+        if slot.is_null:
+            return None, None
+        req = slot.value
+        payload = yield from self._lib.wait(self._task, req)
+        if isinstance(req, RealPersistentRequest):
+            status = req.current.status if req.current is not None else None
+            return payload, status
+        slot.value = REQUEST_NULL
+        return payload, req.status
+
+    # ------------------------------------------------------------------
+    # persistent point-to-point
+    # ------------------------------------------------------------------
+    def send_init(self, data, dest, tag: int = 0, comm: Optional[int] = None):
+        self._count("send_init")
+        validate_tag(tag)
+        preq = self._lib.send_init(self._task, self._real(comm), dest, tag,
+                                   buf=data)
+        yield Advance(0.0)
+        return RequestSlot(preq)
+
+    def recv_init(self, source=ANY_SOURCE, tag=ANY_TAG,
+                  comm: Optional[int] = None):
+        self._count("recv_init")
+        preq = self._lib.recv_init(self._task, self._real(comm), source, tag)
+        yield Advance(0.0)
+        return RequestSlot(preq)
+
+    def start(self, slot: RequestSlot, data=None):
+        self._count("start")
+        yield from self._lib.start(self._task, slot.value, data)
+
+    def request_free(self, slot: RequestSlot):
+        self._count("request_free")
+        self._lib.request_free(self._task, slot.value)
+        slot.value = REQUEST_NULL
+        yield Advance(0.0)
+
+    def waitall(self, slots: Sequence[RequestSlot]):
+        out = []
+        for slot in slots:
+            result = yield from self.wait(slot)
+            out.append(result)
+        return out
+
+    def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
+        flag, status = self._lib.iprobe(self._task, self._real(comm), source, tag)
+        yield Advance(0.0)
+        return flag, status
+
+    def probe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
+        """Blocking probe: returns the status of a matching message
+        without receiving it."""
+        real = self._real(comm)
+        while True:
+            flag, status = self._lib.iprobe(self._task, real, source, tag)
+            if flag:
+                return status
+            yield Advance(self._machine.recv_overhead)
+
+    def sendrecv(self, senddata, dest, sendtag=0, source=ANY_SOURCE,
+                 recvtag=ANY_TAG, comm: Optional[int] = None):
+        """MPI_Sendrecv: concurrent send and receive (deadlock-free)."""
+        self._count("sendrecv")
+        real = self._real(comm)
+        req = yield from self._lib.isend(self._task, real, dest, sendtag, senddata)
+        data, status = yield from self._lib.recv(self._task, real, source, recvtag)
+        yield from self._lib.wait(self._task, req)
+        return data, status
+
+    def waitany(self, slots: Sequence[RequestSlot]):
+        """MPI_Waitany: block until one request completes; returns
+        (index, payload, status).  All-null input returns index None."""
+        from repro.simmpi.request import RealRequest
+        while True:
+            live = [(i, s) for i, s in enumerate(slots) if not s.is_null]
+            if not live:
+                yield Advance(0.0)
+                return None, None, None
+            for i, s in live:
+                if s.value.done:
+                    flag, payload = self._lib.test(self._task, s.value)
+                    status = s.value.status
+                    s.value = REQUEST_NULL
+                    return i, payload, status
+            yield Advance(self._machine.recv_overhead)
+
+    def testall(self, slots: Sequence[RequestSlot]):
+        """MPI_Testall: (True, payload list) if every request is
+        complete, else (False, None); completes all or none."""
+        if all(s.is_null or s.value.done for s in slots):
+            out = []
+            for s in slots:
+                if s.is_null:
+                    out.append((None, None))
+                else:
+                    flag, payload = self._lib.test(self._task, s.value)
+                    out.append((payload, s.value.status))
+                    s.value = REQUEST_NULL
+            yield Advance(0.0)
+            return True, out
+        yield Advance(0.0)
+        return False, None
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self, comm: Optional[int] = None):
+        self._count("barrier")
+        yield from self._lib.barrier(self._task, self._real(comm))
+
+    def bcast(self, data, root: int = 0, comm: Optional[int] = None):
+        self._count("bcast")
+        result = yield from self._lib.bcast(self._task, self._real(comm), data, root)
+        return result
+
+    def reduce(self, data, op: ReductionOp = SUM, root: int = 0,
+               comm: Optional[int] = None):
+        self._count("reduce")
+        result = yield from self._lib.reduce(self._task, self._real(comm), data, op, root)
+        return result
+
+    def allreduce(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
+        self._count("allreduce")
+        result = yield from self._lib.allreduce(self._task, self._real(comm), data, op)
+        return result
+
+    def gather(self, data, root: int = 0, comm: Optional[int] = None):
+        self._count("gather")
+        result = yield from self._lib.gather(self._task, self._real(comm), data, root)
+        return result
+
+    def scatter(self, data, root: int = 0, comm: Optional[int] = None):
+        self._count("scatter")
+        result = yield from self._lib.scatter(self._task, self._real(comm), data, root)
+        return result
+
+    def allgather(self, data, comm: Optional[int] = None):
+        self._count("allgather")
+        result = yield from self._lib.allgather(self._task, self._real(comm), data)
+        return result
+
+    def alltoall(self, data: List[Any], comm: Optional[int] = None):
+        self._count("alltoall")
+        result = yield from self._lib.alltoall(self._task, self._real(comm), data)
+        return result
+
+    def scan(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
+        self._count("scan")
+        result = yield from self._lib.scan(self._task, self._real(comm), data, op)
+        return result
+
+    def reduce_scatter_block(self, data: List[Any], op: ReductionOp = SUM,
+                             comm: Optional[int] = None):
+        self._count("reduce_scatter_block")
+        result = yield from self._lib.reduce_scatter_block(
+            self._task, self._real(comm), data, op
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # non-blocking collectives
+    # ------------------------------------------------------------------
+    def ibarrier(self, comm: Optional[int] = None):
+        self._count("ibarrier")
+        req = yield from self._lib.ibarrier(self._task, self._real(comm))
+        return RequestSlot(req)
+
+    def ibcast(self, data, root: int = 0, comm: Optional[int] = None):
+        self._count("ibcast")
+        req = yield from self._lib.ibcast(self._task, self._real(comm), data, root)
+        return RequestSlot(req)
+
+    def ireduce(self, data, op: ReductionOp = SUM, root: int = 0,
+                comm: Optional[int] = None):
+        self._count("ireduce")
+        req = yield from self._lib.ireduce(self._task, self._real(comm), data, op, root)
+        return RequestSlot(req)
+
+    def iallreduce(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
+        self._count("iallreduce")
+        req = yield from self._lib.iallreduce(self._task, self._real(comm), data, op)
+        return RequestSlot(req)
+
+    def ialltoall(self, data: List[Any], comm: Optional[int] = None):
+        self._count("ialltoall")
+        req = yield from self._lib.ialltoall(self._task, self._real(comm), data)
+        return RequestSlot(req)
+
+    def iallgather(self, data, comm: Optional[int] = None):
+        self._count("iallgather")
+        req = yield from self._lib.iallgather(self._task, self._real(comm), data)
+        return RequestSlot(req)
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+    def comm_split(self, color, key: int = 0, comm: Optional[int] = None):
+        self._count("comm_split")
+        real = yield from self._lib.comm_split(self._task, self._real(comm), color, key)
+        if real is COMM_NULL:
+            return COMM_NULL
+        return self._register(real)
+
+    def comm_dup(self, comm: Optional[int] = None):
+        self._count("comm_dup")
+        real = yield from self._lib.comm_dup(self._task, self._real(comm))
+        return self._register(real)
+
+    def comm_create(self, ranks: Sequence[int], comm: Optional[int] = None):
+        self._count("comm_create")
+        parent = self._real(comm)
+        group = parent.group.incl(list(ranks))
+        real = yield from self._lib.comm_create(self._task, parent, group)
+        if real is COMM_NULL:
+            return COMM_NULL
+        return self._register(real)
+
+    def comm_free(self, comm: int):
+        self._lib.comm_free(self._task, self._comms[comm])
+        yield Advance(0.0)
+
+    # ------------------------------------------------------------------
+    # memory & unsupported features
+    # ------------------------------------------------------------------
+    def alloc_mem(self, nbytes: int):
+        yield Advance(0.0)
+        return self._lib.alloc_mem(nbytes)
+
+    def free_mem(self, mem):
+        self._lib.free_mem(mem)
+        yield Advance(0.0)
+
+    # one-sided communication: supported natively (the MANA binding
+    # refuses it, as in the paper)
+    def win_create(self, size: int, comm: Optional[int] = None):
+        self._count("win_create")
+        win = yield from self._lib.win_create(self._task, self._real(comm), size)
+        return win
+
+    def win_fence(self, win):
+        self._count("win_fence")
+        yield from self._lib.win_fence(self._task, win)
+
+    def win_put(self, win, target: int, offset: int, data):
+        self._count("win_put")
+        yield from self._lib.win_put(self._task, win, target, offset, data)
+
+    def win_get(self, win, target: int, offset: int, count: int):
+        self._count("win_get")
+        result = yield from self._lib.win_get(self._task, win, target, offset, count)
+        return result
+
+    def win_accumulate(self, win, target: int, offset: int, data):
+        self._count("win_accumulate")
+        yield from self._lib.win_accumulate(self._task, win, target, offset, data)
+
+    def win_free(self, win):
+        self._count("win_free")
+        self._lib.win_free(self._task, win)
+        yield Advance(0.0)
+
+    def _finalize(self):
+        # finalize synchronizes (parity with the MANA binding)
+        yield from self.barrier()

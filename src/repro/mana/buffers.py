@@ -1,0 +1,70 @@
+"""Buffered-message store: where drained messages survive the restart.
+
+During the drain (Section III-B), messages pulled out of the network with
+``Iprobe``+``Recv`` have no matching application receive yet.  MANA
+buffers them in upper-half memory — they are part of the checkpoint
+image — and the receive wrappers consult this buffer *before* going to
+the (possibly brand-new) lower half, preserving per-sender FIFO order
+across the checkpoint/restart boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG, Status
+
+
+@dataclass
+class BufferedMessage:
+    """One drained message, keyed the way matching works.
+
+    ``comm_vid`` is the *virtual* communicator id — the real context id
+    would be meaningless after restart.
+    """
+
+    comm_vid: int
+    src_world: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+class DrainBuffer:
+    """FIFO store of drained messages for one rank."""
+
+    def __init__(self) -> None:
+        self._messages: List[BufferedMessage] = []
+
+    def put(self, msg: BufferedMessage) -> None:
+        self._messages.append(msg)
+
+    def match(
+        self, comm_vid: int, source_world, tag
+    ) -> Optional[Tuple[Any, Status]]:
+        """Pop the oldest message matching (comm, source, tag) with MPI
+        wildcard semantics; ``source_world`` is a world rank or
+        ANY_SOURCE.  Returns (payload, status-with-world-source)."""
+        for i, m in enumerate(self._messages):
+            if m.comm_vid != comm_vid:
+                continue
+            if source_world is not ANY_SOURCE and source_world != m.src_world:
+                continue
+            if tag is not ANY_TAG and tag != m.tag:
+                continue
+            self._messages.pop(i)
+            return m.payload, Status(source=m.src_world, tag=m.tag, count=m.nbytes)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def nbytes(self) -> int:
+        return sum(m.nbytes for m in self._messages)
+
+    def snapshot(self) -> List[BufferedMessage]:
+        return list(self._messages)
+
+    def restore(self, messages: List[BufferedMessage]) -> None:
+        self._messages = list(messages)

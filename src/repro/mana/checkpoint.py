@@ -1,0 +1,184 @@
+"""Checkpoint images and the per-rank checkpoint cycle.
+
+Only the *upper half* is saved (paper Section II-A): the application's
+memory and MANA's own tables.  The lower half — the MPI library, its
+context IDs, requests, unexpected queues, and the network state — is
+deliberately not in the image; restart rebuilds it and MANA rebinds the
+virtual objects.
+
+The image is real bytes (framed pickle), so the REEXEC restart mode can
+reload it in a fresh process.  Its size drives the modeled burst-buffer
+write time (Figure 3); ``resident_bytes`` lets a scaled-down proxy
+application declare the memory footprint its full-size counterpart would
+have, which is recorded separately from the genuinely serialized bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.des.syscalls import Advance
+from repro.errors import CheckpointError
+from repro.mana.config import DrainAlgorithm
+from repro.mana.drain import drain_alltoall, drain_coordinator
+from repro.mana.runtime import ManaRank, RankPhase
+from repro.simnet.oob import COORDINATOR_ID
+from repro.util import serde
+
+#: memory-serialization speed for image construction, bytes/second
+SERIALIZE_BW = 2.0e9
+
+
+@dataclass
+class CheckpointImage:
+    """One rank's checkpoint image."""
+
+    rank: int
+    epoch: int
+    blob: bytes              # genuinely serialized upper-half state
+    declared_app_bytes: int  # modeled full-size application footprint
+    taken_at: float
+
+    #: fixed per-process overhead (code, libraries, heap) — set from the
+    #: machine model at build time
+    base_bytes: int = 96 << 20
+    #: image written with compression (DMTCP --gzip analog)
+    compressed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        """Modeled on-disk size: real state + declared app memory +
+        fixed process overhead.  Compression shrinks the modeled parts
+        by typical ratios (fp-heavy app data ~0.6, code/heap ~0.5)."""
+        if self.compressed:
+            return int(
+                len(self.blob)
+                + self.declared_app_bytes * 0.6
+                + self.base_bytes * 0.5
+            )
+        return len(self.blob) + self.declared_app_bytes + self.base_bytes
+
+    def payload(self) -> dict:
+        return serde.loads(self.blob)
+
+
+def build_image(mrank: ManaRank) -> CheckpointImage:
+    """Serialize one rank's upper half."""
+    program = mrank.program
+    app_state = program.snapshot_state() if program is not None else None
+    replay_log = None
+    if mrank.api is not None and getattr(mrank.api, "replay_log", None) is not None:
+        replay_log = mrank.api.replay_log.snapshot()
+    state = {
+        "rank": mrank.rank,
+        "epoch": mrank.intent_epoch,
+        "app_state": app_state,
+        "counters": mrank.counters.snapshot(),
+        "drain_buffer": mrank.drain_buffer.snapshot(),
+        "vcomms": mrank.vcomms.snapshot(),
+        "vreqs": mrank.vreqs.snapshot(),
+        "icoll_log": mrank.icoll_log.snapshot(),
+        "blocking_counts": dict(mrank.blocking_counts),
+        "replay_log": replay_log,
+    }
+    compress = mrank.rt.cfg.compress_images
+    blob = serde.dumps(state, compress=compress)
+    declared = program.resident_bytes() if program is not None else 0
+    return CheckpointImage(
+        rank=mrank.rank,
+        epoch=mrank.intent_epoch,
+        blob=blob,
+        declared_app_bytes=declared,
+        taken_at=mrank.rt.sched.now,
+        base_bytes=mrank.rt.machine.base_image_bytes,
+        compressed=compress,
+    )
+
+
+def bb_write_time(mrank: ManaRank, nbytes: int) -> float:
+    """Burst-buffer write time; node bandwidth shared by the node's ranks."""
+    machine = mrank.rt.machine
+    bb = machine.burst_buffer
+    sharers = min(machine.ranks_per_node, mrank.rt.nranks)
+    return bb.latency + nbytes * sharers / bb.write_bw
+
+
+def bb_read_time(mrank: ManaRank, nbytes: int) -> float:
+    machine = mrank.rt.machine
+    bb = machine.burst_buffer
+    sharers = min(machine.ranks_per_node, mrank.rt.nranks)
+    return bb.latency + nbytes * sharers / bb.read_bw
+
+
+def _materialize_done_irecvs(mrank: ManaRank) -> None:
+    """Request_get_status mode: completed-but-unconsumed receives were
+    left live in the lower half during the drain; the lower half is about
+    to be discarded, so capture their payloads into upper-half NullMarks
+    now (their bytes are already counted)."""
+    from repro.mana.requests import VReqKind
+
+    lib = mrank.rt.lib
+    for entry in mrank.vreqs.pending_irecvs():
+        req = entry.recv_request()
+        if not req.done:
+            continue
+        flag, payload = lib.test(mrank.task, req)
+        assert flag
+        real_comm, _ = mrank.vcomms.lookup(entry.comm_vid)
+        user_status = lib.status_for_user(real_comm, req.status)
+        if entry.kind is VReqKind.PRECV:
+            entry.p_staged = (payload, user_status)
+        else:
+            mrank.vreqs.complete_internally(entry, payload, user_status)
+
+
+def run_checkpoint_cycle(mrank: ManaRank):
+    """Main-thread checkpoint participation: drain, snapshot, write,
+    then obey the post-checkpoint directive (resume or restart)."""
+    from repro.mana.restart import perform_restart  # cycle at runtime
+
+    rt = mrank.rt
+    mrank.phase = RankPhase.IN_CKPT
+
+    if rt.cfg.drain is DrainAlgorithm.ALLTOALL:
+        yield from drain_alltoall(mrank)
+    else:
+        yield from drain_coordinator(mrank)
+
+    if rt.cfg.request_get_status:
+        _materialize_done_irecvs(mrank)
+    image = build_image(mrank)
+    mrank.last_image = image
+    serialize_bw = SERIALIZE_BW / (3.0 if rt.cfg.compress_images else 1.0)
+    yield Advance(
+        rt.machine.sw_time(
+            (len(image.blob) + image.declared_app_bytes) / serialize_bw
+        )
+        + bb_write_time(mrank, image.nbytes)
+    )
+    rt.oob.send(
+        COORDINATOR_ID,
+        ("ckpt_done", mrank.rank, {"nbytes": image.nbytes}),
+    )
+    directive = yield from mrank.park_for_directive(
+        f"awaiting post-checkpoint directive rank {mrank.rank}"
+    )
+    if directive[0] != "post_ckpt":
+        raise CheckpointError(
+            f"rank {mrank.rank}: expected post_ckpt, got {directive!r}"
+        )
+    action = directive[1]
+    if action == "halt":
+        from repro.errors import HaltSignal
+
+        raise HaltSignal(f"rank {mrank.rank} halted after checkpoint")
+    if action == "restart":
+        yield from perform_restart(mrank)
+    elif action != "resume":
+        raise CheckpointError(f"unknown post-checkpoint action {action!r}")
+
+    mrank.intent = False
+    mrank.release_mode = None
+    mrank.horizons = {}
+    rt.oob.send(COORDINATOR_ID, ("resumed", mrank.rank))

@@ -1,0 +1,202 @@
+"""MANA configuration: algorithm variants and overhead knobs.
+
+Every contrast the paper draws — original MANA vs MANA-2.0 master vs the
+``feature/2pc`` branch — is a :class:`ManaConfig` preset, so benches
+measure algorithmic differences rather than asserting them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class CollectiveMode(enum.Enum):
+    """How wrappers execute blocking collective communication."""
+
+    #: original MANA: a real MPI_Barrier before *every* collective, at all
+    #: times.  Slows Bcast 2-3x (Section III-D) and deadlocks on the
+    #: Section III-E pattern.
+    BARRIER_ALWAYS = "barrier_always"
+    #: the flawed revision (Section III-J): no barrier, and the checkpoint
+    #: protocol assumes collectives are never partially entered.  Fast,
+    #: but a checkpoint taken after a Bcast root returned early produces a
+    #: restart that hangs.
+    NO_BARRIER_FLAWED = "no_barrier_flawed"
+    #: MANA-2.0 hybrid (Sections III-J/III-L): real collectives with no
+    #: barrier during normal execution; after a checkpoint intent the
+    #: coordinator equalizes partially-entered collectives (releasing
+    #: laggards to unblock peers, Section III-K) before the snapshot.
+    HYBRID = "hybrid"
+    #: the Section III-E alternative: collectives implemented with MANA-
+    #: tracked point-to-point sends/receives, which the drain can capture
+    #: mid-flight — a checkpoint may land in the middle of a collective.
+    PT2PT_ALWAYS = "pt2pt_always"
+
+
+class DrainAlgorithm(enum.Enum):
+    """How pending point-to-point bytes are found at checkpoint time."""
+
+    #: original MANA: total send/receive counts bounced off the DMTCP
+    #: coordinator in rounds (expensive at scale, Section III-B).
+    COORDINATOR = "coordinator"
+    #: MANA-2.0: one MPI_Alltoall of per-pair byte counts, then local
+    #: Iprobe+Recv, then Test on existing Irecv records.
+    ALLTOALL = "alltoall"
+
+
+class VtableBackend(enum.Enum):
+    """Virtual-ID table lookup structure (Section III-I, item 1)."""
+
+    ORDERED_MAP = "map"   # C++ std::map, O(log n) per lookup
+    HASH = "hash"         # hash table, O(1) per lookup
+
+
+class CommReconstruction(enum.Enum):
+    """How communicators are rebuilt at restart (Section III-C)."""
+
+    #: original: replay the full log of every communicator-creating call,
+    #: including communicators long dead.
+    REPLAY_LOG = "replay_log"
+    #: MANA-2.0: rebuild only the active list, directly from each
+    #: communicator's group membership.
+    ACTIVE_LIST = "active_list"
+
+
+class FsTier(enum.Enum):
+    """Cost tier for the FS-register context switch (Section III-G)."""
+
+    SYSCALL = "syscall"         # pre-5.9 kernel, kernel call per switch
+    WORKAROUND = "workaround"   # MANA-2.0's user-space workaround [19]
+    FSGSBASE = "fsgsbase"       # Linux >= 5.9 unprivileged FSGSBASE
+    AUTO = "auto"               # pick from the machine's kernel version
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Per-call software costs, nominal seconds on a 2.3 GHz Haswell core.
+
+    These are the Section III-G/III-H/III-I overhead sources.  They are
+    charged as virtual time inside wrappers, scaled by the machine's
+    ``sw_overhead_scale`` (MANA's bookkeeping runs on the host core, so
+    it is slower on KNL).
+    """
+
+    fs_syscall: float = 0.35e-6        # FS register via kernel call, per switch
+    fs_workaround: float = 0.22e-6    # MANA-2.0 workaround, per switch
+    fs_fsgsbase: float = 0.035e-6     # unprivileged FSGSBASE, per switch
+    ckpt_lock: float = 1.5e-6        # DMTCP disable+enable ckpt lock pair
+    lambda_frames: float = 0.4e-6    # extra call frames from C++ lambdas
+    hash_lookup: float = 0.06e-6      # hash vtable lookup
+    map_lookup_per_level: float = 0.06e-6  # std::map, per log2(n) level
+    vreq_bookkeeping: float = 0.30e-6  # create/retire one virtual request
+    commit_phase: float = 0.35e-6     # commit_begin + commit_finish pair
+    counter_update: float = 0.05e-6   # per-pair byte counter update
+    wait_poll_gap: float = 0.8e-6     # gap between MPI_Test polls in Wait
+    rank_helper_lh_calls: int = 3     # lower-half calls made by the local-
+    #                                   to-global rank helper (Section
+    #                                   III-I item 3); MANA-2.0 reduces
+    #                                   this to 1
+
+
+@dataclass(frozen=True)
+class ManaConfig:
+    """A MANA build: algorithm selections plus overhead switches."""
+
+    name: str = "custom"
+    collective_mode: CollectiveMode = CollectiveMode.HYBRID
+    drain: DrainAlgorithm = DrainAlgorithm.ALLTOALL
+    vtable: VtableBackend = VtableBackend.HASH
+    comm_reconstruction: CommReconstruction = CommReconstruction.ACTIVE_LIST
+    fs_tier: FsTier = FsTier.AUTO
+    #: virtualize MPI_Request (original MANA did not — Section III-A)
+    virtualize_requests: bool = True
+    #: aggressively retire completed virtual requests (two-step algorithm)
+    request_gc: bool = True
+    #: the Section III-A reviewer's alternative: interrogate the lower
+    #: half with MPI_Request_get_status (non-destructive) during the
+    #: drain, so MANA never sets a request value in application memory
+    #: asynchronously; completed-but-unconsumed receives are materialized
+    #: into upper-half storage only at snapshot time
+    request_get_status: bool = False
+    #: C++-lambda call-frame overhead present (removed in feature/2pc,
+    #: Section III-H)
+    lambda_frames: bool = True
+    #: rank-translation helper makes multiple lower-half calls
+    #: (Section III-I item 3); False = the rewritten single-call version
+    multi_call_rank_helper: bool = True
+    #: record wrapper results for REEXEC (restart-from-image) support
+    record_replay: bool = False
+    #: compress checkpoint images (DMTCP's --gzip): smaller images and
+    #: burst-buffer time, at extra serialization CPU cost
+    compress_images: bool = False
+    #: maximum release rounds during checkpoint equalization before the
+    #: coordinator declares the checkpoint stuck
+    max_release_rounds: int = 512
+    overheads: OverheadModel = field(default_factory=OverheadModel)
+
+    # ------------------------------------------------------------------
+    # branch presets from the paper's evaluation (Section IV)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def original() -> "ManaConfig":
+        """The original MANA of Garg et al. [1]: proof of concept.
+
+        Barrier before every collective, coordinator-based drain, full
+        comm-log replay at restart, no request virtualization, ordered-
+        map tables, every known overhead source present.
+        """
+        return ManaConfig(
+            name="original",
+            collective_mode=CollectiveMode.BARRIER_ALWAYS,
+            drain=DrainAlgorithm.COORDINATOR,
+            vtable=VtableBackend.ORDERED_MAP,
+            comm_reconstruction=CommReconstruction.REPLAY_LOG,
+            fs_tier=FsTier.SYSCALL,
+            virtualize_requests=False,
+            request_gc=False,
+            lambda_frames=True,
+            multi_call_rank_helper=True,
+        )
+
+    @staticmethod
+    def master() -> "ManaConfig":
+        """MANA-2.0 master branch: the scalability/reliability fixes
+        (request virtualization + GC, alltoall drain, active-list
+        restart) but not the runtime-overhead work — the two-phase
+        commit still inserts a barrier before every collective and the
+        lambda frames are still present."""
+        return ManaConfig(
+            name="master",
+            collective_mode=CollectiveMode.BARRIER_ALWAYS,
+            drain=DrainAlgorithm.ALLTOALL,
+            vtable=VtableBackend.ORDERED_MAP,
+            comm_reconstruction=CommReconstruction.ACTIVE_LIST,
+            fs_tier=FsTier.SYSCALL,
+            virtualize_requests=True,
+            request_gc=True,
+            lambda_frames=True,
+            multi_call_rank_helper=True,
+        )
+
+    @staticmethod
+    def feature_2pc() -> "ManaConfig":
+        """The ``feature/2pc`` branch: hybrid two-phase commit (barrier
+        only after checkpoint intent), lambdas removed, FS workaround,
+        hash tables, single-call rank helper."""
+        return ManaConfig(
+            name="feature/2pc",
+            collective_mode=CollectiveMode.HYBRID,
+            drain=DrainAlgorithm.ALLTOALL,
+            vtable=VtableBackend.HASH,
+            comm_reconstruction=CommReconstruction.ACTIVE_LIST,
+            fs_tier=FsTier.WORKAROUND,
+            virtualize_requests=True,
+            request_gc=True,
+            lambda_frames=False,
+            multi_call_rank_helper=False,
+        )
+
+    def but(self, **kwargs) -> "ManaConfig":
+        """Return a copy with fields replaced (ablation helper)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,373 @@
+"""The centralized coordinator and the checkpoint two-phase commit.
+
+This is the DMTCP coordinator extended with MANA-2.0's collective-aware
+logic (paper Sections III-J and III-K).  The protocol:
+
+1. A checkpoint request arrives.  The coordinator sends INTENT to every
+   rank's checkpoint thread.
+2. Each rank *checks in* (parks) at its next wrapper safe point and
+   reports: what it is about to do, its per-communicator blocking-
+   collective completion counts, and the Section III-K globally-unique
+   ID (GID) of every communicator it belongs to.  A rank blocked inside
+   a lower-half collective cannot check in — its checkpoint thread
+   reports IN_LOWER(gid, instance) on its behalf.
+3. The coordinator *equalizes*: a collective instance that some member
+   has entered and some has not cannot be cut by a checkpoint (the lower
+   half, and the entered member's contribution with it, is discarded at
+   restart).  Ranks behind the horizon are released to run — "which MPI
+   processes must continue to execute in order to unblock later
+   collective communication calls" — until, for every communicator, all
+   members have completed the same number of blocking collectives and
+   nobody is inside the lower half.
+4. Phase two: every rank drains point-to-point traffic, snapshots its
+   upper half, writes the image, and reports done.
+
+The ``NO_BARRIER_FLAWED`` variant skips step 3 — reproducing the revised
+algorithm the paper says "was found to have some flaws": a checkpoint
+taken after a Bcast root returned early yields a restart that deadlocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.des.mailbox import Mailbox
+from repro.errors import CheckpointError
+from repro.mana.config import CollectiveMode, ManaConfig
+from repro.mana.runtime import ManaRuntime, ReleaseMode
+from repro.simnet.oob import COORDINATOR_ID
+
+PARKED_KINDS = {"at_collective", "blocked_pt2pt", "safe", "finalize"}
+
+
+class Coordinator:
+    """Runs as a daemon process; owns the checkpoint state machine."""
+
+    def __init__(self, rt: ManaRuntime):
+        self.rt = rt
+        self.mailbox: Mailbox = rt.oob.register(COORDINATOR_ID)
+        self.proc = None  # set by the session at spawn
+
+        self.phase = "idle"          # idle | quiescing | checkpointing | post
+        self.post_action = "resume"
+        self.requester: Optional[int] = None
+        self.epoch = 0
+
+        self.reports: Dict[int, Optional[dict]] = {}
+        self.horizons: Dict[int, int] = {}
+        self.release_rounds = 0
+        self._last_signature: Optional[tuple] = None
+        self._stalls = 0
+
+        self.ckpt_started_at = 0.0
+        self.quiesced_at = 0.0
+        self.done_ranks: Set[int] = set()
+        self.resumed_ranks: Set[int] = set()
+
+        # original-drain bookkeeping
+        self.drain_reports: Dict[int, Tuple[int, int]] = {}
+        self.drain_rounds = 0
+
+        #: ranks granted permission to finalize (exit)
+        self.finalize_granted: Set[int] = set()
+
+        #: telemetry per completed checkpoint
+        self.records: List[dict] = []
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Coordinator main loop (daemon coroutine)."""
+        while True:
+            msg = yield from self.mailbox.get(self.proc)
+            kind = msg[0]
+            if kind == "ckpt_request":
+                self._on_ckpt_request(action=msg[1], requester=msg[2])
+            elif kind == "state":
+                self._on_state(rank=msg[1], report=msg[2])
+            elif kind == "ckpt_done":
+                self._on_ckpt_done(rank=msg[1], info=msg[2])
+            elif kind == "resumed":
+                self._on_resumed(rank=msg[1])
+            elif kind == "drain_counts":
+                self._on_drain_counts(rank=msg[1], sent=msg[2], received=msg[3])
+            elif kind == "finalize_request":
+                self._on_finalize_request(rank=msg[1])
+            else:
+                raise CheckpointError(f"coordinator: unknown message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # protocol steps
+    # ------------------------------------------------------------------
+    def _on_ckpt_request(self, action: str, requester: int) -> None:
+        if self.phase != "idle":
+            raise CheckpointError("checkpoint requested while one is in progress")
+        if self.finalize_granted:
+            # finalize is barrier-synchronized: once any rank was granted
+            # finalize, every rank is already past its last MPI call
+            self.records.append(
+                {"epoch": self.epoch + 1, "skipped": True,
+                 "requested_at": self.rt.sched.now}
+            )
+            self.rt.oob.send(requester, ("cycle_complete", dict(self.records[-1])))
+            return
+        finalized = [m.rank for m in self.rt.ranks if m.finalized]
+        if len(finalized) == self.rt.nranks:
+            # the computation already ended; skip gracefully
+            self.records.append(
+                {"epoch": self.epoch + 1, "skipped": True,
+                 "requested_at": self.rt.sched.now}
+            )
+            self.rt.oob.send(requester, ("cycle_complete", dict(self.records[-1])))
+            return
+        if finalized:
+            raise CheckpointError(
+                f"ranks {finalized} already finalized while others run; "
+                "finalize is synchronizing, so this indicates a bug"
+            )
+        self.phase = "quiescing"
+        self.post_action = action
+        self.requester = requester
+        self.epoch += 1
+        self.ckpt_started_at = self.rt.sched.now
+        self.reports = {r: None for r in range(self.rt.nranks)}
+        self.horizons = {}
+        self.release_rounds = 0
+        self._last_signature = None
+        self._stalls = 0
+        self.done_ranks = set()
+        self.resumed_ranks = set()
+        self.drain_reports = {}
+        self.drain_rounds = 0
+        for mrank in self.rt.ranks:
+            self.rt.oob.send(mrank.rank, ("intent", self.epoch))
+
+    def _on_state(self, rank: int, report: dict) -> None:
+        if self.phase != "quiescing":
+            # late transition reports during checkpointing are harmless
+            return
+        self.reports[rank] = report
+        self._evaluate()
+
+    # ------------------------------------------------------------------
+    def _evaluate(self) -> None:
+        reports = self.reports
+        if any(r is None or r["kind"] == "running" for r in reports.values()):
+            return  # someone is still executing (e.g. a straggler computing)
+
+        in_lower = {
+            rank: r for rank, r in reports.items() if r["kind"] == "in_lower"
+        }
+        flawed = self.rt.cfg.collective_mode is CollectiveMode.NO_BARRIER_FLAWED
+        if flawed:
+            if in_lower:
+                return  # can't snapshot inside the lower half; just wait
+            self._enter_phase2()  # skips equalization: the flaw
+            return
+
+        counts, members = self._aggregate(reports)
+        unequal = self._unequal_gids(counts, members)
+
+        if not in_lower and not unequal:
+            self._enter_phase2()
+            return
+
+        # raise horizons past every instance someone is already inside
+        for r in in_lower.values():
+            gid, inst = r["gid"], r["instance"]
+            self.horizons[gid] = max(self.horizons.get(gid, 0), inst + 1)
+        # laggards of unequal communicators must reach the leaders
+        for gid in unequal:
+            k = max(counts[gid].values())
+            self.horizons[gid] = max(self.horizons.get(gid, 0), k)
+
+        self._release_round(reports, in_lower)
+
+    def _aggregate(self, reports) -> Tuple[Dict[int, Dict[int, int]], Dict[int, tuple]]:
+        counts: Dict[int, Dict[int, int]] = {}
+        members: Dict[int, tuple] = {}
+        for rank, r in reports.items():
+            if r["kind"] == "in_lower":
+                pass  # its last coll_counts still ride along in the report
+            for gid, c in r["coll_counts"].items():
+                counts.setdefault(gid, {})[rank] = c
+            for gid, m in r["gid_members"].items():
+                members[gid] = tuple(m)
+        return counts, members
+
+    def _unequal_gids(self, counts, members) -> List[int]:
+        unequal = []
+        for gid, per_rank in counts.items():
+            member_ranks = members.get(gid)
+            if member_ranks is None:
+                continue  # freed everywhere; counts are final and equal
+            vals = set()
+            missing = False
+            for m in member_ranks:
+                if m in per_rank:
+                    vals.add(per_rank[m])
+                else:
+                    missing = True  # member hasn't even created it yet
+            if missing or len(vals) > 1:
+                unequal.append(gid)
+        return unequal
+
+    def _release_round(self, reports, in_lower) -> None:
+        self.release_rounds += 1
+        if self.release_rounds > self.rt.cfg.max_release_rounds:
+            raise CheckpointError(
+                f"equalization did not converge after "
+                f"{self.rt.cfg.max_release_rounds} release rounds; "
+                f"horizons={self.horizons}"
+            )
+        parked = {
+            rank: r for rank, r in reports.items() if r["kind"] in PARKED_KINDS
+        }
+
+        def gated(r) -> bool:
+            """Parked at a collective instance the horizon does not yet
+            cover — releasing it could not make progress."""
+            return (
+                r["kind"] == "at_collective"
+                and r["instance"] >= self.horizons.get(r["gid"], 0)
+            )
+
+        def behind(r) -> bool:
+            """Behind some horizon: its path to the open collective may
+            pass through point-to-point or other wrapper operations."""
+            return any(
+                r["coll_counts"].get(gid, 0) < h
+                for gid, h in self.horizons.items()
+                if gid in r["coll_counts"] or gid in r["gid_members"]
+            )
+
+        def compute_release() -> Dict[int, ReleaseMode]:
+            out: Dict[int, ReleaseMode] = {}
+            for rank, r in parked.items():
+                if (
+                    r["kind"] == "at_collective"
+                    and r["instance"] < self.horizons.get(r["gid"], 0)
+                ):
+                    out[rank] = ReleaseMode.FREE  # run through the instance
+                elif behind(r) and not gated(r):
+                    out[rank] = ReleaseMode.FREE
+            return out
+
+        release = compute_release()
+
+        if not release and not in_lower:
+            # Escalation 1: a laggard is wedged at another communicator's
+            # horizon; that instance must be allowed through — "which MPI
+            # processes must continue to execute in order to unblock
+            # later collective communication calls" (Section III-K).
+            bumped = False
+            for _rank, r in parked.items():
+                if r["kind"] == "at_collective" and behind(r) and gated(r):
+                    gid, inst = r["gid"], r["instance"]
+                    self.horizons[gid] = max(self.horizons.get(gid, 0), inst + 1)
+                    bumped = True
+            if bumped:
+                release = compute_release()
+
+        if not release and not in_lower:
+            # Escalation 2: point-to-point/safe parks may hold data a
+            # laggard needs; step them forward one operation
+            release = {
+                rank: ReleaseMode.STEP
+                for rank, r in parked.items()
+                if r["kind"] != "at_collective"
+            }
+
+        if not release and not in_lower:
+            raise CheckpointError(
+                "checkpoint equalization is wedged: all ranks parked, "
+                f"counts unequal, nothing releasable; horizons={self.horizons}"
+            )
+
+        for rank, mode in release.items():
+            self.reports[rank] = None  # expect a fresh report
+            self.rt.oob.send(
+                rank, ("release", dict(self.horizons), mode)
+            )
+
+    # ------------------------------------------------------------------
+    def _enter_phase2(self) -> None:
+        self.phase = "checkpointing"
+        self.quiesced_at = self.rt.sched.now
+        for mrank in self.rt.ranks:
+            self.rt.oob.send(mrank.rank, ("checkpoint",))
+
+    def _on_finalize_request(self, rank: int) -> None:
+        if self.phase == "idle":
+            self.finalize_granted.add(rank)
+            self.rt.oob.send(rank, ("finalize_ok",))
+        else:
+            self.rt.oob.send(rank, ("finalize_retry",))
+
+    def _on_drain_counts(self, rank: int, sent: int, received: int) -> None:
+        """Original MANA drain: totals bounced off the coordinator."""
+        self.drain_reports[rank] = (sent, received)
+        if len(self.drain_reports) < self.rt.nranks:
+            return
+        sent_bytes = sum(s[0] for s, _ in self.drain_reports.values())
+        sent_msgs = sum(s[1] for s, _ in self.drain_reports.values())
+        recv_bytes = sum(r[0] for _, r in self.drain_reports.values())
+        recv_msgs = sum(r[1] for _, r in self.drain_reports.values())
+        balanced = (sent_bytes, sent_msgs) == (recv_bytes, recv_msgs)
+        self.drain_rounds += 1
+        self.drain_reports = {}
+        for mrank in self.rt.ranks:
+            self.rt.oob.send(mrank.rank, ("drain_verdict", balanced))
+
+    def _on_ckpt_done(self, rank: int, info: dict) -> None:
+        self.done_ranks.add(rank)
+        if len(self.done_ranks) < self.rt.nranks:
+            return
+        record = {
+            "epoch": self.epoch,
+            "requested_at": self.ckpt_started_at,
+            "quiesce_time": self.quiesced_at - self.ckpt_started_at,
+            "checkpoint_time": self.rt.sched.now - self.ckpt_started_at,
+            "completed_at": self.rt.sched.now,
+            "release_rounds": self.release_rounds,
+            "drain_rounds": self.drain_rounds,
+            "image_bytes_total": sum(
+                m.last_image.nbytes for m in self.rt.ranks
+            ),
+            "post_action": self.post_action,
+        }
+        self.records.append(record)
+        if self.post_action == "halt":
+            # the job is being killed after the image write: no resumes
+            record["cycle_time"] = self.rt.sched.now - record["requested_at"]
+            record["restart_time"] = 0.0
+            self.phase = "idle"
+            for mrank in self.rt.ranks:
+                self.rt.oob.send(mrank.rank, ("post_ckpt", "halt"))
+            if self.requester is not None:
+                self.rt.oob.send(
+                    self.requester, ("cycle_complete", dict(record))
+                )
+                self.requester = None
+            return
+        self.phase = "post"
+        for mrank in self.rt.ranks:
+            self.rt.oob.send(mrank.rank, ("post_ckpt", self.post_action))
+
+    def _on_resumed(self, rank: int) -> None:
+        self.resumed_ranks.add(rank)
+        if len(self.resumed_ranks) < self.rt.nranks:
+            return
+        self.records[-1]["cycle_time"] = (
+            self.rt.sched.now - self.records[-1]["requested_at"]
+        )
+        self.records[-1]["restart_time"] = (
+            self.rt.sched.now - self.records[-1]["completed_at"]
+            if self.post_action == "restart"
+            else 0.0
+        )
+        self.phase = "idle"
+        if self.requester is not None:
+            self.rt.oob.send(
+                self.requester, ("cycle_complete", dict(self.records[-1]))
+            )
+            self.requester = None

@@ -1,0 +1,112 @@
+"""Fortran named-constant handling (paper Section III-F).
+
+Fortran MPI bindings pass named constants like ``MPI_IN_PLACE`` and
+``MPI_STATUS_IGNORE`` as the *addresses* of unique storage locations
+inside the MPI library (they are set at link time via common blocks, not
+compile time).  So a MANA Fortran wrapper receives an opaque address
+where the C wrapper would receive the constant itself, and a new lower
+half after restart puts those storage locations at *different*
+addresses.
+
+We model a "link-time address" as a :class:`FortranAddr` object minted
+per *process* (the paper links the discovery routine into MANA's own
+stub, so the storage lives in the upper half: addresses are stable
+across a lower-half replacement, but a brand-new process — a REEXEC
+restart — mints new ones).  :class:`FortranConstantResolver` plays the
+role of that small Fortran routine: it discovers the current addresses
+at initialization and translates any parameter that matches one of them
+into the equivalent C constant before the real MPI function is called.
+An address from a *different* process (e.g. cached inside a checkpoint
+image and replayed elsewhere) is detected as stale rather than silently
+misread.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict
+
+from repro.simmpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BOTTOM,
+    IN_PLACE,
+    STATUS_IGNORE,
+    STATUSES_IGNORE,
+)
+
+#: the C-level sentinels that Fortran exposes as link-time addresses
+NAMED_CONSTANTS = {
+    "MPI_IN_PLACE": IN_PLACE,
+    "MPI_STATUS_IGNORE": STATUS_IGNORE,
+    "MPI_STATUSES_IGNORE": STATUSES_IGNORE,
+    "MPI_BOTTOM": BOTTOM,
+    "MPI_ANY_SOURCE_F": ANY_SOURCE,
+    "MPI_ANY_TAG_F": ANY_TAG,
+}
+
+_addr_counter = itertools.count(0x7F0000000000)
+
+
+class FortranAddr:
+    """An opaque 'address' of a named constant in one library incarnation."""
+
+    __slots__ = ("addr", "symbol", "incarnation")
+
+    def __init__(self, symbol: str, incarnation: int):
+        self.addr = next(_addr_counter)
+        self.symbol = symbol
+        self.incarnation = incarnation
+
+    def __repr__(self) -> str:
+        return f"<&{self.symbol}@0x{self.addr:x} inc{self.incarnation}>"
+
+
+class FortranLinkage:
+    """The per-incarnation common-block addresses (owned by a library)."""
+
+    def __init__(self, incarnation: int):
+        self.incarnation = incarnation
+        self.addresses: Dict[str, FortranAddr] = {
+            sym: FortranAddr(sym, incarnation) for sym in NAMED_CONSTANTS
+        }
+
+    def address_of(self, symbol: str) -> FortranAddr:
+        return self.addresses[symbol]
+
+
+class FortranConstantResolver:
+    """MANA's dynamic discovery of the current Fortran constant addresses.
+
+    ``rebind`` must be called whenever the lower half is replaced — the
+    addresses move, exactly the corner case Section III-F is about.
+    """
+
+    def __init__(self, linkage: FortranLinkage):
+        self._by_addr: Dict[int, Any] = {}
+        self.rebind(linkage)
+        self.translations = 0
+
+    def rebind(self, linkage: FortranLinkage) -> None:
+        self._by_addr = {
+            fa.addr: NAMED_CONSTANTS[sym]
+            for sym, fa in linkage.addresses.items()
+        }
+
+    def resolve(self, param: Any) -> Any:
+        """Translate a Fortran parameter: named-constant addresses become
+        the equivalent C constants; everything else passes through."""
+        if isinstance(param, FortranAddr):
+            try:
+                c_const = self._by_addr[param.addr]
+            except KeyError:
+                from repro.errors import ManaError
+
+                raise ManaError(
+                    f"Fortran parameter {param!r} looks like a named-constant "
+                    "address from a stale library incarnation; the resolver "
+                    "was not rebound after restart"
+                ) from None
+            self.translations += 1
+            return c_const
+        return param

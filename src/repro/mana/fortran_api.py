@@ -1,0 +1,92 @@
+"""Fortran-binding shim (paper Section III-F, end to end).
+
+A Fortran MPI application passes named constants like ``MPI_ANY_SOURCE``
+as the *addresses* of link-time storage locations in the MPI library.
+This shim plays the role of MANA's Fortran-to-C translation layer: it
+exposes a Fortran-flavoured call surface whose constant arguments are
+:class:`~repro.mana.fortran.FortranAddr` objects minted by the current
+library incarnation, and routes every call through the (C-level) API —
+which resolves the addresses via MANA's dynamically discovered table.
+
+The Section III-F corner case is observable here: after a restart the
+constants live at *new* addresses; a shim still holding incarnation-0
+addresses would trip MANA's stale-address detection, so the shim
+re-reads them from the linkage on every use, exactly as a Fortran
+common block reference would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+
+
+class FortranApi:
+    """Fortran-flavoured facade over an (MANA or native) API object.
+
+    Only the calls our Fortran-style test programs need; the point is
+    the constant-passing convention, not binding completeness.
+    """
+
+    def __init__(self, api, linkage_provider):
+        self._api = api
+        # callable returning the *current* FortranLinkage (it changes
+        # with each lower-half incarnation)
+        self._linkage = linkage_provider
+
+    # ------------------------------------------------------------------
+    # the "common block": named constants as link-time addresses
+    # ------------------------------------------------------------------
+    @property
+    def MPI_ANY_SOURCE(self):
+        return self._linkage().address_of("MPI_ANY_SOURCE_F")
+
+    @property
+    def MPI_ANY_TAG(self):
+        return self._linkage().address_of("MPI_ANY_TAG_F")
+
+    @property
+    def MPI_STATUS_IGNORE(self):
+        return self._linkage().address_of("MPI_STATUS_IGNORE")
+
+    @property
+    def MPI_IN_PLACE(self):
+        return self._linkage().address_of("MPI_IN_PLACE")
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self._api.rank
+
+    @property
+    def size(self) -> int:
+        return self._api.size
+
+    def mpi_send(self, buf, dest, tag, comm=None):
+        yield from self._api.send(buf, dest, tag, comm)
+
+    def mpi_recv(self, source, tag, comm=None, status=None):
+        """``source``/``tag`` may be Fortran named-constant addresses;
+        ``status`` may be the MPI_STATUS_IGNORE address."""
+        data, st = yield from self._api.recv(source, tag, comm)
+        resolved_status = self._api._resolve(status) if status is not None else None
+        from repro.simmpi.constants import STATUS_IGNORE
+
+        if resolved_status is STATUS_IGNORE or status is None:
+            return data, None
+        return data, st
+
+    def mpi_bcast(self, buf, root, comm=None):
+        result = yield from self._api.bcast(buf, root, comm)
+        return result
+
+    def mpi_allreduce(self, sendbuf, op, comm=None):
+        result = yield from self._api.allreduce(sendbuf, op, comm)
+        return result
+
+    def mpi_barrier(self, comm=None):
+        yield from self._api.barrier(comm)
+
+    def mpi_compute(self, seconds: float):
+        yield from self._api.compute(seconds)

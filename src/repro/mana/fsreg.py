@@ -1,0 +1,40 @@
+"""FS-register context-switch cost model (paper Section III-G).
+
+MANA's split-process model switches between the upper and lower half by
+rewriting the x86-64 FS register (thread-local-storage base).  Before
+Linux 5.9 that requires ``arch_prctl``, a kernel call costing on the
+order of a microsecond — and a wrapper switches *twice* per lower-half
+call (jump down, return up).  MANA-2.0 added a user-space workaround for
+old kernels; Linux >= 5.9 exposes the unprivileged FSGSBASE instructions.
+Cori runs kernel 4.12, so the paper's measurements sit on the expensive
+tier unless the workaround is active.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.machine import MachineSpec
+from repro.mana.config import FsTier, ManaConfig
+
+
+def resolve_fs_tier(cfg: ManaConfig, machine: MachineSpec) -> FsTier:
+    """Resolve ``FsTier.AUTO`` against the machine's kernel version."""
+    if cfg.fs_tier is not FsTier.AUTO:
+        return cfg.fs_tier
+    return FsTier.FSGSBASE if machine.fsgsbase_available() else FsTier.SYSCALL
+
+
+def fs_switch_cost(cfg: ManaConfig, machine: MachineSpec) -> float:
+    """Virtual seconds for ONE FS-register switch on this machine."""
+    tier = resolve_fs_tier(cfg, machine)
+    ov = cfg.overheads
+    nominal = {
+        FsTier.SYSCALL: ov.fs_syscall,
+        FsTier.WORKAROUND: ov.fs_workaround,
+        FsTier.FSGSBASE: ov.fs_fsgsbase,
+    }[tier]
+    return machine.mana_sw_time(nominal)
+
+
+def lower_half_call_cost(cfg: ManaConfig, machine: MachineSpec, ncalls: int = 1) -> float:
+    """Cost of ``ncalls`` round trips into the lower half (2 switches each)."""
+    return 2.0 * ncalls * fs_switch_cost(cfg, machine)

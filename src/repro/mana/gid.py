@@ -1,0 +1,29 @@
+"""Globally unique communicator IDs (paper Section III-K).
+
+When the coordinator must reason about which ranks participate in which
+collective, every rank needs to name its communicator in a way that all
+members agree on *without communicating*.  MANA-2.0 does this by
+translating the communicator's ranks ``0..size-1`` to MPI_COMM_WORLD
+ranks with ``MPI_Group_translate_ranks`` (a purely local call) and
+hashing the resulting tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.simmpi.comm import RealComm
+from repro.simmpi.group import Group
+from repro.util.hashing import hash_rank_tuple
+
+
+def comm_gid_from_world_ranks(world_ranks: Tuple[int, ...]) -> int:
+    """The GID is a stable hash of the member world-rank tuple."""
+    return hash_rank_tuple(world_ranks)
+
+
+def comm_gid(comm: RealComm, world_group: Group) -> int:
+    """Compute the GID the way a MANA rank does: translate all local
+    ranks of ``comm`` into world ranks (local operation), then hash."""
+    translated = comm.group.translate_ranks(range(comm.size), world_group)
+    return comm_gid_from_world_ranks(tuple(int(r) for r in translated))

@@ -1,0 +1,29 @@
+"""Application-visible MPI handles under MANA.
+
+A :class:`RequestSlot` models "the request variable in the application's
+memory": MANA may only write MPI_REQUEST_NULL into it from a wrapper that
+was *given* the slot (Test/Wait) — never asynchronously — which is the
+constraint that forces the two-step retirement of Section III-A.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.simmpi.constants import REQUEST_NULL
+
+
+class RequestSlot:
+    """A mutable cell holding a virtual request id (or MPI_REQUEST_NULL)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = REQUEST_NULL):
+        self.value = value
+
+    @property
+    def is_null(self) -> bool:
+        return self.value is REQUEST_NULL
+
+    def __repr__(self) -> str:
+        return f"RequestSlot({self.value!r})"

@@ -1,0 +1,81 @@
+"""Non-blocking-collective log for replay at restart.
+
+Paper Section III-I item 4: MANA-2.0 replays *all* non-blocking
+collective communications at restart to re-create virtualized requests —
+including already-completed ones.  That is not laziness: if rank A
+completed an Iallreduce that rank B still has pending, B's replay needs
+A to participate again, and A cannot know locally whether every peer has
+completed.  (The paper lists pruning this log as an open performance
+problem; the growth is measured by ``bench_ablation_request_gc``.)
+
+The one *safe* pruning implemented here: freeing a communicator is
+collective and requires all operations on it to be complete on every
+member, so records for a freed communicator are dropped by all members
+consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class IcollRecord:
+    """Everything needed to re-issue one non-blocking collective."""
+
+    op: str                       # "ibarrier" | "ibcast" | "ireduce" | ...
+    comm_vid: int
+    #: issue payload (e.g. the bcast buffer or reduce contribution),
+    #: saved in upper-half memory at issue time
+    payload: Any = None
+    root: Optional[int] = None
+    red_op: Optional[str] = None  # reduction op name
+    #: the virtual request this record backs (may be retired by now)
+    vid: int = -1
+
+
+class IcollLog:
+    """Append-only per-rank log of issued non-blocking collectives."""
+
+    def __init__(self) -> None:
+        self.records: List[IcollRecord] = []
+        self.replays = 0
+
+    def append(self, record: IcollRecord) -> int:
+        """Returns the record's index (stored in the VReqEntry)."""
+        self.records.append(record)
+        return len(self.records) - 1
+
+    def drop_comm(self, comm_vid: int) -> int:
+        """Prune records of a freed communicator (safe: free is
+        collective and implies global completion).  Indices of surviving
+        records change, so callers must re-index via :meth:`reindex`."""
+        before = len(self.records)
+        self.records = [r for r in self.records if r.comm_vid != comm_vid]
+        return before - len(self.records)
+
+    def reindex(self) -> Dict[int, int]:
+        """vid -> new index, for fixing VReqEntry.icoll_index after a
+        drop_comm."""
+        return {r.vid: i for i, r in enumerate(self.records) if r.vid >= 0}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list:
+        return [
+            {
+                "op": r.op,
+                "comm_vid": r.comm_vid,
+                "payload": r.payload,
+                "root": r.root,
+                "red_op": r.red_op,
+                "vid": r.vid,
+            }
+            for r in self.records
+        ]
+
+    def restore(self, snap: list) -> None:
+        self.records = [IcollRecord(**rec) for rec in snap]

@@ -1,0 +1,182 @@
+"""REEXEC wiring: the recording API and the replay-to-live transition.
+
+See :mod:`repro.mana.replay` for the design.  This module builds the
+per-rank recording API (wrapper methods that record results, or replay
+them in a restarted process) and performs the transition at log
+exhaustion: restore the upper-half MANA state from the image, convert
+orphaned requests, and rebuild the lower-half bindings using the same
+machinery as a RECONNECT restart.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.des.syscalls import Advance
+from repro.errors import RestartError
+from repro.mana.buffers import BufferedMessage
+from repro.mana.checkpoint import bb_read_time
+from repro.mana.config import CollectiveMode, CommReconstruction
+from repro.mana.replay import RECORDED_OPS, ReplayLog
+from repro.mana.requests import NullMark, VReqKind
+from repro.mana.runtime import ManaRank
+from repro.mana.wrappers import ManaApi
+
+
+def build_recording_api(mrank: ManaRank, log: ReplayLog) -> ManaApi:
+    """A ManaApi whose public methods record (or replay) their results."""
+    if mrank.rt.cfg.collective_mode is CollectiveMode.PT2PT_ALWAYS:
+        raise RestartError(
+            "record_replay (REEXEC) cannot be combined with PT2PT_ALWAYS "
+            "collectives: a checkpoint inside an alternative-implementation "
+            "collective cannot be re-executed consistently"
+        )
+    api = ManaApi(mrank)
+    api.replay_log = log
+    for name, (extract, materialize) in RECORDED_OPS.items():
+        setattr(api, name, _bind(api, name, extract, materialize))
+    api.compute = _bind_compute(api)
+    return api
+
+
+def _bind(api: ManaApi, name: str, extract, materialize):
+    base = getattr(ManaApi, name)
+
+    def method(*args, **kwargs):
+        log = api.replay_log
+        if log.replaying:
+            if log.exhausted():
+                yield from reexec_transition(api)
+                # fall through: this is the call that was in progress at
+                # checkpoint time; it now runs live
+            else:
+                value = log.next(name)
+                result = materialize(api, value, args, kwargs)
+                yield Advance(0.0)
+                return result
+        api._call_seq += 1
+        result = yield from base(api, *args, **kwargs)
+        log.record(name, extract(api, result, args, kwargs))
+        return result
+
+    return method
+
+
+def _bind_compute(api: ManaApi):
+    base = ManaApi.compute
+
+    def compute(seconds: Optional[float] = None, flops: Optional[float] = None):
+        if api.replay_log.replaying:
+            # pre-checkpoint compute already happened; re-execution is free
+            yield Advance(0.0)
+            return
+        yield from base(api, seconds=seconds, flops=flops)
+
+    return compute
+
+
+# ----------------------------------------------------------------------
+# extract/materialize for communicator creation must carry membership so
+# local queries (comm_rank/comm_size) work during replay
+# ----------------------------------------------------------------------
+
+def extract_comm_handle(api: ManaApi, result: Any, args, kwargs) -> Any:
+    from repro.simmpi.constants import COMM_NULL
+
+    if result is COMM_NULL:
+        return ("null",)
+    meta = api.mrank.vcomms.meta[result]
+    return ("comm", result, tuple(meta.world_ranks), meta.name)
+
+
+def materialize_comm_handle(api: ManaApi, value: Any, args, kwargs) -> Any:
+    from repro.simmpi.constants import COMM_NULL
+    from repro.mana.comms import CommMeta
+    from repro.mana.gid import comm_gid_from_world_ranks
+
+    if value[0] == "null":
+        return COMM_NULL
+    _tag, vid, world_ranks, name = value
+    vc = api.mrank.vcomms
+    if vid not in vc.meta:
+        vc.meta[vid] = CommMeta(
+            vid=vid,
+            world_ranks=tuple(world_ranks),
+            gid=comm_gid_from_world_ranks(tuple(world_ranks)),
+            name=name,
+        )
+    return vid
+
+
+# ----------------------------------------------------------------------
+# the transition: replayed history has reproduced the application state;
+# now restore MANA state and rebuild the lower half bindings
+# ----------------------------------------------------------------------
+
+def reexec_transition(api: ManaApi):
+    from repro.mana.restart import (
+        _reconstruct_active_list,
+        _reconstruct_replay_log,
+        _recreate_persistent,
+        _replay_icolls,
+        _repost_pending_irecvs,
+    )
+
+    mrank = api.mrank
+    rt = mrank.rt
+    payload = getattr(mrank, "_reexec_image", None)
+    if payload is None:
+        raise RestartError(
+            f"rank {mrank.rank}: replay log exhausted but no image staged"
+        )
+    mrank._reexec_image = None
+
+    yield Advance(bb_read_time(mrank, getattr(mrank, "_reexec_nbytes", 0)))
+
+    mrank.counters.restore(payload["counters"])
+    mrank.drain_buffer.restore(payload["drain_buffer"])
+    mrank.vcomms.restore(payload["vcomms"])
+    mrank.vreqs.restore(payload["vreqs"])
+    mrank.icoll_log.restore(payload["icoll_log"])
+    mrank.blocking_counts = dict(payload["blocking_counts"])
+    mrank.fortran.rebind(rt.fortran_linkage)
+
+    # orphaned requests: created by the wrapper call that was in progress
+    # at checkpoint time (it has no log entry and will re-execute live)
+    completed = api.replay_log.completed_calls
+    for vid, entry in list(mrank.vreqs.table.items()):
+        if entry.created_call <= completed:
+            continue
+        if entry.kind is VReqKind.IRECV and isinstance(entry.real, NullMark):
+            # its message was drained pre-checkpoint; feed it back so the
+            # re-executed receive finds it
+            st = entry.real.status
+            meta = mrank.vcomms.meta[entry.comm_vid]
+            mrank.drain_buffer.put(
+                BufferedMessage(
+                    comm_vid=entry.comm_vid,
+                    src_world=meta.world_ranks[st.source],
+                    tag=st.tag,
+                    payload=entry.real.payload,
+                    nbytes=st.count,
+                )
+            )
+        mrank.vreqs.table._table.pop(vid)
+
+    # rebuild the lower-half bindings (fresh library of this session)
+    if rt.cfg.comm_reconstruction is CommReconstruction.ACTIVE_LIST:
+        yield from _reconstruct_active_list(mrank)
+    else:
+        yield from _reconstruct_replay_log(mrank)
+    _repost_pending_irecvs(mrank)
+    yield from _recreate_persistent(mrank)
+    yield from _replay_icolls(mrank)
+
+    api.replay_log.replaying = False
+
+
+# register the communicator-handle codec into the op table (deferred to
+# break the import cycle between replay.py and this module)
+from repro.mana.replay import _register_comm_ops as _rco  # noqa: E402
+
+_rco()

@@ -1,0 +1,373 @@
+"""ManaSession: run an application natively or under MANA, checkpoint
+it, restart it, and collect the telemetry the benches report.
+
+The session wires up the whole stack — scheduler, network, OOB channel,
+lower half, MANA runtime, coordinator, one main process and one
+checkpoint thread per rank, and a controller process that fires the
+planned checkpoint requests at the requested virtual times (the paper's
+"checkpoint at the 5-minute mark").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.des.scheduler import Scheduler
+from repro.des.syscalls import Advance
+from repro.errors import CheckpointError, HaltSignal
+from repro.hosts.machine import MachineSpec
+from repro.hosts.presets import TESTBOX
+from repro.mana.api import NativeApi
+from repro.mana.config import ManaConfig
+from repro.mana.coordinator import Coordinator
+from repro.mana.runtime import ManaRuntime
+from repro.mana.twophase import ckpt_thread_body
+from repro.mana.wrappers import ManaApi
+from repro.simmpi.library import MpiLibrary, RankTask
+from repro.simnet.network import Network
+from repro.simnet.oob import OobChannel
+
+#: OOB endpoint id of the session controller
+CONTROLLER_ID = -2
+
+#: result sentinel of a rank terminated by a "halt" checkpoint
+HALTED = "__halted__"
+
+#: a program factory builds one rank's program object
+ProgramFactory = Callable[[int], Any]
+
+
+@dataclass
+class CheckpointPlan:
+    """One planned checkpoint: when, and what to do afterwards."""
+
+    at: float
+    action: str = "resume"  # "resume" | "restart" | "halt"
+
+    def __post_init__(self):
+        if self.action not in ("resume", "restart", "halt"):
+            raise ValueError(f"unknown checkpoint action {self.action!r}")
+
+
+@dataclass
+class RunOutcome:
+    """Everything a run produced."""
+
+    results: List[Any]
+    elapsed: float
+    mode: str                                   # "native" | "mana"
+    rank_stats: List[Any] = field(default_factory=list)
+    checkpoints: List[dict] = field(default_factory=list)
+    restarts: List[dict] = field(default_factory=list)
+    network_messages: int = 0
+    network_bytes: int = 0
+    oob_messages: int = 0
+    lib_calls: Dict[str, int] = field(default_factory=dict)
+    image_bytes: List[int] = field(default_factory=list)
+
+    @property
+    def total_collective_calls(self) -> int:
+        return sum(s.collective_calls for s in self.rank_stats)
+
+    @property
+    def total_pt2pt_calls(self) -> int:
+        return sum(s.pt2pt_calls for s in self.rank_stats)
+
+
+def run_app_native(
+    nranks: int,
+    program_factory: ProgramFactory,
+    machine: MachineSpec = TESTBOX,
+    until: Optional[float] = None,
+) -> RunOutcome:
+    """Run the application directly on the lower half (no MANA).
+
+    The baseline of every overhead comparison in the paper (Figure 2
+    blue bars, Table II "Native" column)."""
+    sched = Scheduler()
+    network = Network(sched, machine, nranks)
+    lib = MpiLibrary(sched, network, machine)
+    procs = []
+    apis: List[NativeApi] = []
+    finish_times: Dict[int, float] = {}
+    for r in range(nranks):
+        box: dict = {}
+
+        def body(rank=r, box=box):
+            api = box["api"]
+            program = program_factory(rank)
+            result = yield from program.main(api)
+            yield from api._finalize()
+            finish_times[rank] = sched.now
+            return result
+
+        proc = sched.spawn(body(), f"rank{r}")
+        task = lib.make_task(proc, r)
+        api = NativeApi(lib, task, machine)
+        box["api"] = api
+        apis.append(api)
+        procs.append(proc)
+    sched.run(until=until)
+    if until is None:
+        unfinished = sched.unfinished()
+        if unfinished:
+            raise RuntimeError(
+                f"native run ended with unfinished ranks: "
+                f"{[p.name for p in unfinished[:8]]}"
+            )
+    return RunOutcome(
+        results=[p.result for p in procs],
+        elapsed=max(finish_times.values(), default=sched.now),
+        mode="native",
+        rank_stats=[a.stats for a in apis],
+        network_messages=network.stats.messages,
+        network_bytes=network.stats.bytes,
+        lib_calls=dict(lib.calls),
+    )
+
+
+class ManaSession:
+    """A MANA-supervised run of one MPI application."""
+
+    def __init__(
+        self,
+        nranks: int,
+        program_factory: ProgramFactory,
+        machine: MachineSpec = TESTBOX,
+        cfg: Optional[ManaConfig] = None,
+        reexec_images: Optional[list] = None,
+    ):
+        self.nranks = nranks
+        self.program_factory = program_factory
+        self.machine = machine
+        self.cfg = cfg if cfg is not None else ManaConfig.feature_2pc()
+        if reexec_images is not None and not self.cfg.record_replay:
+            raise ValueError("REEXEC resume requires cfg.record_replay=True")
+        self._reexec_images = reexec_images
+
+        self.sched = Scheduler()
+        self.network = Network(self.sched, machine, nranks)
+        self.oob = OobChannel(self.sched)
+        self.rt = ManaRuntime(
+            self.sched, self.network, self.oob, machine, self.cfg, nranks
+        )
+        self.coordinator = Coordinator(self.rt)
+        self._controller_box = self.oob.register(CONTROLLER_ID)
+        self._controller_records: List[dict] = []
+        self._finish_times: Dict[int, float] = {}
+        self._wired = False
+
+    # ------------------------------------------------------------------
+    def _wire(self, checkpoints: Sequence[CheckpointPlan]) -> List:
+        if self._wired:
+            raise RuntimeError("a ManaSession can only be run once")
+        self._wired = True
+        rt = self.rt
+        self.coordinator.proc = self.sched.spawn(
+            self.coordinator.run(), "coordinator", daemon=True
+        )
+        procs = []
+        for mrank in rt.ranks:
+            mrank.mailbox = self.oob.register(mrank.rank)
+            mrank.program = self.program_factory(mrank.rank)
+            if self.cfg.record_replay:
+                from repro.mana.reexec import build_recording_api
+                from repro.mana.replay import ReplayLog
+
+                if self._reexec_images is not None:
+                    payload = self._reexec_images[mrank.rank]
+                    mrank._reexec_image = payload["state"]
+                    mrank._reexec_nbytes = payload["nbytes"]
+                    log = ReplayLog(
+                        list(payload["state"]["replay_log"]), replaying=True
+                    )
+                else:
+                    log = ReplayLog()
+                mrank.api = build_recording_api(mrank, log)
+            else:
+                mrank.api = ManaApi(mrank)
+
+            def main_body(mr=mrank):
+                try:
+                    result = yield from mr.program.main(mr.api)
+                    yield from mr.api._finalize()
+                except HaltSignal:
+                    self._finish_times[mr.rank] = self.sched.now
+                    return HALTED
+                finished = mr.app_finished_at
+                self._finish_times[mr.rank] = (
+                    finished if finished is not None else self.sched.now
+                )
+                return result
+
+            proc = self.sched.spawn(main_body(), f"rank{mrank.rank}")
+            mrank.proc = proc
+            mrank.task = RankTask(proc=proc, world_rank=mrank.rank)
+            mrank.ckpt_proc = self.sched.spawn(
+                ckpt_thread_body(mrank), f"ckpt-thread-{mrank.rank}", daemon=True
+            )
+            procs.append(proc)
+
+        if checkpoints:
+            plans = sorted(checkpoints, key=lambda p: p.at)
+
+            def controller():
+                for plan in plans:
+                    dt = plan.at - self.sched.now
+                    if dt > 0:
+                        yield Advance(dt)
+                    self.oob.send(
+                        -1, ("ckpt_request", plan.action, CONTROLLER_ID)
+                    )
+                    reply = yield from self._controller_box.get(ctrl_proc)
+                    if reply[0] != "cycle_complete":
+                        raise CheckpointError(
+                            f"controller: unexpected reply {reply!r}"
+                        )
+                    self._controller_records.append(reply[1])
+
+            ctrl_proc = self.sched.spawn(controller(), "controller", daemon=True)
+        return procs
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        checkpoints: Sequence[CheckpointPlan] = (),
+        until: Optional[float] = None,
+        deadlock_monitor: Optional[float] = None,
+        checkpoint_interval: Optional[float] = None,
+        interval_action: str = "resume",
+    ) -> RunOutcome:
+        """Run to completion.  ``deadlock_monitor`` (a sampling interval
+        in virtual seconds) arms the Section VI deadlock detector: MPI-
+        level waits-for analysis with named ranks and pending operations,
+        raised as DeadlockError when a knot persists.
+        ``checkpoint_interval`` is DMTCP's ``-i``: automatic checkpoints
+        every N virtual seconds until the computation ends (requests
+        landing after the end are skipped gracefully)."""
+        procs = self._wire(checkpoints)
+        if checkpoint_interval is not None:
+            self._spawn_interval_controller(checkpoint_interval,
+                                            interval_action)
+        if deadlock_monitor is not None:
+            from repro.mana.deadlock import DeadlockMonitor
+
+            self.deadlock_monitor = DeadlockMonitor(
+                self.rt, interval=deadlock_monitor
+            )
+            self.sched.spawn(
+                self.deadlock_monitor.body(), "deadlock-monitor", daemon=True
+            )
+        self.sched.run(until=until)
+        if until is None:
+            unfinished = self.sched.unfinished()
+            if unfinished:
+                raise RuntimeError(
+                    f"MANA run ended with unfinished ranks: "
+                    f"{[p.name for p in unfinished[:8]]}"
+                )
+        rt = self.rt
+        return RunOutcome(
+            results=[p.result for p in procs],
+            elapsed=max(self._finish_times.values(), default=self.sched.now),
+            mode="mana",
+            rank_stats=[m.stats for m in rt.ranks],
+            checkpoints=list(self.coordinator.records),
+            restarts=list(rt.restart_records),
+            network_messages=self.network.stats.messages,
+            network_bytes=self.network.stats.bytes,
+            oob_messages=self.oob.messages_sent,
+            lib_calls=dict(rt.lib.calls),
+            image_bytes=[
+                m.last_image.nbytes for m in rt.ranks if m.last_image is not None
+            ],
+        )
+
+
+    def _spawn_interval_controller(self, interval: float, action: str) -> None:
+        """The DMTCP '-i' loop: request a checkpoint every ``interval``
+        virtual seconds while the computation runs."""
+        box = self.oob.register(-3)
+
+        def body():
+            while True:
+                yield Advance(interval)
+                if all(m.finalized for m in self.rt.ranks):
+                    return
+                self.oob.send(-1, ("ckpt_request", action, -3))
+                reply = yield from box.get(proc)
+                if reply[0] != "cycle_complete":
+                    raise CheckpointError(
+                        f"interval controller: unexpected reply {reply!r}"
+                    )
+                if reply[1].get("skipped"):
+                    return  # the computation ended; stop the loop
+
+        proc = self.sched.spawn(body(), "interval-controller", daemon=True)
+
+    # ------------------------------------------------------------------
+    # REEXEC: save a halted computation's images; resume from them
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path) -> int:
+        """Write every rank's latest checkpoint image to ``path``.
+
+        Returns the file size in bytes.  Typically used after a run with
+        a ``CheckpointPlan(action="halt")`` — the paper's "jobs were
+        checkpointed at the 5-minute mark and terminated" scenario.
+        """
+        from repro.util import serde
+
+        images = []
+        for mrank in self.rt.ranks:
+            image = mrank.last_image
+            if image is None:
+                raise CheckpointError(
+                    f"rank {mrank.rank} has no checkpoint image to save"
+                )
+            images.append({"state": image.payload(), "nbytes": image.nbytes})
+        blob = serde.dumps(
+            {
+                "nranks": self.nranks,
+                "machine": self.machine.name,
+                "cfg_name": self.cfg.name,
+                "images": images,
+            }
+        )
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        return len(blob)
+
+
+def resume_from_checkpoint(
+    path,
+    program_factory: ProgramFactory,
+    machine: MachineSpec,
+    cfg: Optional[ManaConfig] = None,
+) -> "ManaSession":
+    """Build a fresh session (new scheduler, network, lower half — a new
+    'process') that resumes the computation saved at ``path`` by
+    deterministic re-execution (REEXEC restart mode).
+
+    The caller runs it: ``resume_from_checkpoint(...).run()``.
+    """
+    from repro.util import serde
+
+    with open(path, "rb") as fh:
+        saved = serde.loads(fh.read())
+    cfg = cfg if cfg is not None else ManaConfig.feature_2pc()
+    cfg = cfg.but(record_replay=True)
+    if saved["machine"] != machine.name:
+        raise ValueError(
+            f"image was taken on {saved['machine']!r}, not {machine.name!r}"
+        )
+    for img in saved["images"]:
+        if img["state"]["replay_log"] is None:
+            raise ValueError(
+                "image has no replay log; the original run must use a "
+                "record_replay=True configuration to support REEXEC"
+            )
+    return ManaSession(
+        saved["nranks"], program_factory, machine, cfg,
+        reexec_images=saved["images"],
+    )

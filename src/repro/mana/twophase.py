@@ -1,0 +1,130 @@
+"""Rank-side two-phase-commit machinery: the checkpoint thread and the
+check-in protocol (paper Sections III-J, III-K, III-L).
+
+Every MANA process runs a *checkpoint thread* (here: a daemon coroutine
+per rank) — DMTCP's architecture — which talks to the coordinator even
+while the main thread is blocked inside the lower half.  The main thread
+*checks in* at wrapper safe points once a checkpoint intent is active:
+it reports its state and parks until the coordinator releases it,
+either to continue (equalization) or to execute the checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import CheckpointError
+from repro.mana.runtime import ManaRank, RankPhase, ReleaseMode
+from repro.simnet.oob import COORDINATOR_ID
+
+
+def ckpt_thread_body(mrank: ManaRank):
+    """Daemon coroutine: one rank's checkpoint thread."""
+    box = mrank.mailbox
+    while True:
+        msg = yield from box.get(mrank.ckpt_proc)
+        kind = msg[0]
+        if kind == "intent":
+            mrank.intent = True
+            mrank.intent_epoch = msg[1]
+            mrank.horizons = {}
+            mrank.release_mode = None
+            mrank.step_budget = 0
+            # report on behalf of the main thread, which may be blocked
+            # inside the lower half and unable to speak for itself
+            if mrank.in_lower is not None:
+                gid, inst = mrank.in_lower
+                mrank.report_state("in_lower", gid=gid, instance=inst)
+            elif mrank.phase is RankPhase.DONE:
+                raise CheckpointError(
+                    f"rank {mrank.rank}: checkpoint intent after finalize"
+                )
+            else:
+                mrank.report_state("running")
+                # a main thread idling inside a wait-poll loop must wake
+                # up to notice the intent and check in
+                if mrank.idle_wait_parked:
+                    mrank.rt.sched.try_wake(mrank.proc)
+        elif kind == "release":
+            _, horizons, mode = msg
+            mrank.horizons.update(horizons)
+            mrank.release_mode = mode
+            mrank.step_budget = 1 if mode is ReleaseMode.STEP else 0
+            if mrank.awaiting_directive:
+                mrank.deliver_directive(("continue",))
+        elif kind == "checkpoint":
+            mrank.deliver_directive(("checkpoint",))
+        elif kind == "post_ckpt":
+            mrank.deliver_directive(("post_ckpt", msg[1]))
+        elif kind == "drain_verdict":
+            mrank.deliver_directive(("drain_verdict", msg[1]))
+        elif kind == "finalize_ok":
+            mrank.deliver_directive(("finalize_ok",))
+        elif kind == "finalize_retry":
+            mrank.deliver_directive(("finalize_retry",))
+        else:
+            raise CheckpointError(
+                f"rank {mrank.rank} checkpoint thread: unknown message {msg!r}"
+            )
+
+
+def checkin(mrank: ManaRank, kind: str, **extra: Any):
+    """Main thread: park at a safe point and obey the coordinator.
+
+    Returns when the rank may proceed — either the coordinator released
+    it (equalization) or a full checkpoint (and possibly restart) has
+    completed and the intent is gone.
+    """
+    from repro.mana.checkpoint import run_checkpoint_cycle  # cycle at runtime
+
+    mrank.stats.checkins += 1
+    mrank.report_state(kind, **extra)
+    directive = yield from mrank.park_for_directive(
+        f"checkin({kind}) rank {mrank.rank}"
+    )
+    if directive[0] == "continue":
+        mrank.phase = RankPhase.RUNNING
+        return
+    if directive[0] == "checkpoint":
+        yield from run_checkpoint_cycle(mrank)
+        mrank.phase = RankPhase.RUNNING
+        return
+    raise CheckpointError(
+        f"rank {mrank.rank}: unexpected directive {directive!r} at checkin"
+    )
+
+
+def maybe_checkin(mrank: ManaRank, pending_desc: str):
+    """Non-collective wrapper entry: check in if the 2PC asks us to.
+
+    * no intent — run normally;
+    * released FREE — run until a horizon collective or a blocked wait;
+    * released STEP — run exactly one wrapper operation, then check in.
+    """
+    if not mrank.intent or mrank.phase is RankPhase.IN_CKPT:
+        return
+    if mrank.release_mode is ReleaseMode.FREE:
+        return
+    if mrank.release_mode is ReleaseMode.STEP and mrank.step_budget > 0:
+        mrank.step_budget -= 1
+        return
+    yield from checkin(mrank, "safe", pending=pending_desc)
+
+
+def coll_prologue(mrank: ManaRank, gid: int, opname: str):
+    """Blocking-collective wrapper entry: the two-phase-commit gate.
+
+    A collective instance may be entered while a checkpoint is pending
+    only if the coordinator's horizon covers it (some peer is already
+    inside, so this rank must "continue to execute in order to unblock"
+    it — Section III-K).  Otherwise the rank parks here; after a restart
+    it re-executes the collective on the fresh lower half.
+    """
+    while mrank.intent and mrank.phase is not RankPhase.IN_CKPT:
+        inst = mrank.blocking_counts.get(gid, 0)
+        if inst < mrank.horizons.get(gid, 0):
+            return  # released through this instance: enter for real
+        yield from checkin(
+            mrank, "at_collective", gid=gid, instance=inst, op=opname
+        )
+    return

@@ -1,0 +1,74 @@
+"""``repro.simmpi`` — a from-scratch simulated MPI library (the "lower half").
+
+This package is the substrate that MANA interposes on: an MPI-3.1 subset
+with real protocol state, not a facade.  It provides
+
+* groups and communicators with library-allocated context IDs (which
+  change across a restart — exactly the problem MANA's virtualization
+  solves),
+* an eager point-to-point engine with posted/unexpected queues,
+  wildcard matching, ``Iprobe``, and per-pair non-overtaking order,
+* blocking and non-blocking collectives implemented *on top of*
+  point-to-point (binomial trees, recursive doubling, dissemination,
+  pairwise exchange) so their virtual-time cost scales as the paper's
+  arguments assume,
+* requests with MPI semantics (``MPI_REQUEST_NULL`` after completion).
+
+Everything blocking is a generator coroutine run under the DES kernel;
+the calling process parks inside the library — which is precisely the
+state MANA's two-phase commit exists to avoid at checkpoint time.
+"""
+
+from repro.simmpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    COMM_NULL,
+    PROC_NULL,
+    REQUEST_NULL,
+    UNDEFINED,
+    Status,
+)
+from repro.simmpi.ops import (
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    ReductionOp,
+)
+from repro.simmpi.group import Group
+from repro.simmpi.comm import RealComm
+from repro.simmpi.request import RealRequest, RequestKind
+from repro.simmpi.library import MpiLibrary, RankTask
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "COMM_NULL",
+    "PROC_NULL",
+    "REQUEST_NULL",
+    "UNDEFINED",
+    "Status",
+    "ReductionOp",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "MAXLOC",
+    "MINLOC",
+    "Group",
+    "RealComm",
+    "RealRequest",
+    "RequestKind",
+    "MpiLibrary",
+    "RankTask",
+]

@@ -1,0 +1,332 @@
+"""Collective algorithms implemented on point-to-point messaging.
+
+Each algorithm is a generator coroutine parameterized by the library, the
+calling task, the communicator, and the collective sequence number that
+identifies this instance.  Internal messages travel on the communicator's
+*collective* context ID with tags derived from the sequence number, so
+they can never match application receives.
+
+The algorithms are the textbook ones (binomial trees, recursive doubling,
+dissemination, ring, pairwise exchange) because the paper's performance
+arguments depend on their structure: a broadcast root injects ``log p``
+messages and returns without waiting — the "non-blocking but
+synchronizing" semantics of Sections III-D/III-E — while a barrier
+synchronizes everyone in ``log p`` rounds, which is exactly the cost the
+original MANA added in front of every collective call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import MpiError
+from repro.simmpi.comm import RealComm
+from repro.simmpi.ops import ReductionOp
+
+#: tag stride between collective instances; rounds within an instance
+#: occupy tag offsets [0, TAG_STRIDE)
+TAG_STRIDE = 1 << 20
+
+
+def _tag(seq: int, round_: int = 0) -> int:
+    if not 0 <= round_ < TAG_STRIDE:
+        raise MpiError(f"collective round {round_} exceeds tag stride")
+    return seq * TAG_STRIDE + round_
+
+
+def _ceil_log2(p: int) -> int:
+    n, r = 1, 0
+    while n < p:
+        n <<= 1
+        r += 1
+    return r
+
+
+# ----------------------------------------------------------------------
+# Each helper below sends/receives on the collective context of `comm`.
+# `lib` supplies the raw primitives (see MpiLibrary._isend_raw/_irecv_raw).
+# ----------------------------------------------------------------------
+
+def _send(lib, task, comm: RealComm, dst_local: int, tag: int, payload: Any):
+    dst_world = comm.world_rank(dst_local)
+    req = yield from lib._isend_raw(task, comm.coll_ctx, dst_world, tag, payload)
+    return req
+
+
+def _recv(lib, task, comm: RealComm, src_local: int, tag: int):
+    src_world = comm.world_rank(src_local)
+    req = lib._irecv_raw(task, comm.coll_ctx, src_world, tag)
+    payload = yield from lib._wait(task, req)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# barrier: dissemination
+# ----------------------------------------------------------------------
+
+def barrier(lib, task, comm: RealComm, me: int, seq: int):
+    p = comm.size
+    for k in range(_ceil_log2(p)):
+        dst = (me + (1 << k)) % p
+        src = (me - (1 << k)) % p
+        yield from _send(lib, task, comm, dst, _tag(seq, k), None)
+        yield from _recv(lib, task, comm, src, _tag(seq, k))
+    return None
+
+
+# ----------------------------------------------------------------------
+# bcast: binomial tree; root returns after injecting its sends
+# ----------------------------------------------------------------------
+
+def bcast(lib, task, comm: RealComm, me: int, data: Any, root: int, seq: int):
+    p = comm.size
+    vr = (me - root) % p
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            parent = (vr - mask + root) % p
+            data = yield from _recv(lib, task, comm, parent, _tag(seq))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < p:
+            child = (vr + mask + root) % p
+            yield from _send(lib, task, comm, child, _tag(seq), data)
+        mask >>= 1
+    return data
+
+
+# ----------------------------------------------------------------------
+# reduce: binomial tree for commutative ops, gather+fold otherwise
+# ----------------------------------------------------------------------
+
+def reduce_(
+    lib,
+    task,
+    comm: RealComm,
+    me: int,
+    data: Any,
+    op: ReductionOp,
+    root: int,
+    seq: int,
+):
+    p = comm.size
+    if not op.commutative:
+        contribs = yield from gather(lib, task, comm, me, data, root, seq)
+        if me == root:
+            return op.reduce_seq(contribs)
+        return None
+    vr = (me - root) % p
+    acc = data
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            parent = (vr - mask + root) % p
+            yield from _send(lib, task, comm, parent, _tag(seq), acc)
+            return None
+        src_vr = vr + mask
+        if src_vr < p:
+            other = yield from _recv(
+                lib, task, comm, (src_vr + root) % p, _tag(seq)
+            )
+            acc = op(acc, other)
+        mask <<= 1
+    return acc  # only the root reaches here
+
+
+# ----------------------------------------------------------------------
+# allreduce: fold-in extras + recursive doubling (commutative);
+# reduce+bcast otherwise
+# ----------------------------------------------------------------------
+
+def allreduce(
+    lib, task, comm: RealComm, me: int, data: Any, op: ReductionOp, seq: int
+):
+    p = comm.size
+    if not op.commutative:
+        acc = yield from reduce_(lib, task, comm, me, data, op, 0, seq)
+        # chain a bcast on the same instance using a high round offset
+        result = yield from _bcast_rounds(
+            lib, task, comm, me, acc, 0, seq, round_base=TAG_STRIDE // 2
+        )
+        return result
+
+    r = 1
+    while r * 2 <= p:
+        r *= 2
+    extra = p - r
+    acc = data
+    if me >= r:
+        yield from _send(lib, task, comm, me - r, _tag(seq, 0), acc)
+    else:
+        if me < extra:
+            other = yield from _recv(lib, task, comm, me + r, _tag(seq, 0))
+            acc = op(acc, other)
+        mask = 1
+        rnd = 1
+        while mask < r:
+            partner = me ^ mask
+            yield from _send(lib, task, comm, partner, _tag(seq, rnd), acc)
+            other = yield from _recv(lib, task, comm, partner, _tag(seq, rnd))
+            acc = op(acc, other)
+            mask <<= 1
+            rnd += 1
+        if me < extra:
+            yield from _send(lib, task, comm, me + r, _tag(seq, 1), acc)
+    if me >= r:
+        acc = yield from _recv(lib, task, comm, me - r, _tag(seq, 1))
+    return acc
+
+
+def _bcast_rounds(lib, task, comm, me, data, root, seq, round_base):
+    """Binomial bcast using tags offset by ``round_base`` (for chaining)."""
+    p = comm.size
+    vr = (me - root) % p
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            parent = (vr - mask + root) % p
+            data = yield from _recv(lib, task, comm, parent, _tag(seq, round_base))
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < p:
+            child = (vr + mask + root) % p
+            yield from _send(lib, task, comm, child, _tag(seq, round_base), data)
+        mask >>= 1
+    return data
+
+
+# ----------------------------------------------------------------------
+# gather / scatter: binomial trees keyed by rank relative to root
+# ----------------------------------------------------------------------
+
+def gather(
+    lib, task, comm: RealComm, me: int, data: Any, root: int, seq: int
+) -> Any:
+    p = comm.size
+    vr = (me - root) % p
+    contrib = {me: data}
+    mask = 1
+    while mask < p:
+        if vr & mask:
+            parent = (vr - mask + root) % p
+            yield from _send(lib, task, comm, parent, _tag(seq, 0), contrib)
+            return None
+        src_vr = vr + mask
+        if src_vr < p:
+            sub = yield from _recv(
+                lib, task, comm, (src_vr + root) % p, _tag(seq, 0)
+            )
+            contrib.update(sub)
+        mask <<= 1
+    return [contrib[i] for i in range(p)]  # root only
+
+
+def scatter(
+    lib,
+    task,
+    comm: RealComm,
+    me: int,
+    data: Optional[List[Any]],
+    root: int,
+    seq: int,
+):
+    p = comm.size
+    vr = (me - root) % p
+    if vr == 0:
+        if data is None or len(data) != p:
+            raise MpiError(f"scatter root needs a list of {p} items")
+        chunk = {v: data[(v + root) % p] for v in range(p)}
+        low = 1
+        while low < p:
+            low <<= 1
+    else:
+        low = vr & (-vr)
+        parent_vr = vr - low
+        chunk = yield from _recv(
+            lib, task, comm, (parent_vr + root) % p, _tag(seq, 0)
+        )
+    cm = low >> 1
+    while cm:
+        child_vr = vr + cm
+        if child_vr < p:
+            sub = {v: chunk[v] for v in range(child_vr, min(child_vr + cm, p))}
+            yield from _send(
+                lib, task, comm, (child_vr + root) % p, _tag(seq, 0), sub
+            )
+        cm >>= 1
+    return chunk[vr]
+
+
+# ----------------------------------------------------------------------
+# allgather: ring
+# ----------------------------------------------------------------------
+
+def allgather(lib, task, comm: RealComm, me: int, data: Any, seq: int):
+    p = comm.size
+    blocks: List[Any] = [None] * p
+    blocks[me] = data
+    right = (me + 1) % p
+    left = (me - 1) % p
+    cur = data
+    for step in range(p - 1):
+        yield from _send(lib, task, comm, right, _tag(seq, step), cur)
+        cur = yield from _recv(lib, task, comm, left, _tag(seq, step))
+        blocks[(me - step - 1) % p] = cur
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# alltoall: pairwise exchange
+# ----------------------------------------------------------------------
+
+def alltoall(lib, task, comm: RealComm, me: int, data: List[Any], seq: int):
+    p = comm.size
+    if len(data) != p:
+        raise MpiError(f"alltoall needs a list of {p} items, got {len(data)}")
+    result: List[Any] = [None] * p
+    result[me] = data[me]
+    for i in range(1, p):
+        dst = (me + i) % p
+        src = (me - i) % p
+        yield from _send(lib, task, comm, dst, _tag(seq, i), data[dst])
+        result[src] = yield from _recv(lib, task, comm, src, _tag(seq, i))
+    return result
+
+
+# ----------------------------------------------------------------------
+# scan (inclusive) and reduce_scatter_block
+# ----------------------------------------------------------------------
+
+def scan(lib, task, comm: RealComm, me: int, data: Any, op: ReductionOp, seq: int):
+    p = comm.size
+    acc = data
+    if me > 0:
+        prefix = yield from _recv(lib, task, comm, me - 1, _tag(seq, 0))
+        acc = op(prefix, data)
+    if me < p - 1:
+        yield from _send(lib, task, comm, me + 1, _tag(seq, 0), acc)
+    return acc
+
+
+def reduce_scatter_block(
+    lib, task, comm: RealComm, me: int, data: List[Any], op: ReductionOp, seq: int
+):
+    p = comm.size
+    if len(data) != p:
+        raise MpiError(f"reduce_scatter needs a list of {p} items")
+    # reduce the whole vector of blocks to rank 0 (combining slot-wise so
+    # that e.g. SUM over Python lists doesn't concatenate), then scatter
+    slotwise = ReductionOp(
+        op.name + "_SLOTWISE",
+        lambda a, b: [op(x, y) for x, y in zip(a, b)],
+        commutative=op.commutative,
+    )
+    reduced = yield from reduce_(lib, task, comm, me, data, slotwise, 0, seq)
+    my_block = yield from scatter(
+        lib, task, comm, me, reduced if me == 0 else None, 0, seq
+    )
+    return my_block

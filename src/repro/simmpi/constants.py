@@ -1,0 +1,84 @@
+"""MPI named constants and the Status object.
+
+The sentinels are distinct singleton objects (not small ints) so that a
+stray application integer can never alias ``MPI_REQUEST_NULL`` — and so
+that the Fortran named-constant machinery of paper Section III-F has
+real "addresses" to discover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class _Sentinel:
+    """A unique named constant; identity-compared, pickle-stable."""
+
+    _registry: dict = {}
+
+    def __new__(cls, name: str):
+        # one object per name per process, and unpickling returns the
+        # same object (checkpoint images may contain REQUEST_NULL values)
+        if name in cls._registry:
+            return cls._registry[name]
+        obj = super().__new__(cls)
+        cls._registry[name] = obj
+        return obj
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __reduce__(self):
+        return (_Sentinel, (self.name,))
+
+
+#: wildcard source for receives and probes
+ANY_SOURCE = _Sentinel("MPI_ANY_SOURCE")
+#: wildcard tag for receives and probes
+ANY_TAG = _Sentinel("MPI_ANY_TAG")
+#: the null request handle; a completed request compares equal to this
+REQUEST_NULL = _Sentinel("MPI_REQUEST_NULL")
+#: the null communicator handle
+COMM_NULL = _Sentinel("MPI_COMM_NULL")
+#: the null process (sends/recvs to it complete immediately, no data)
+PROC_NULL = _Sentinel("MPI_PROC_NULL")
+#: "not a member" marker returned by group/comm queries
+UNDEFINED = _Sentinel("MPI_UNDEFINED")
+#: in-place reduction marker (Fortran passes this by address, Section III-F)
+IN_PLACE = _Sentinel("MPI_IN_PLACE")
+#: ignored-status marker
+STATUS_IGNORE = _Sentinel("MPI_STATUS_IGNORE")
+#: ignored-statuses marker (array form)
+STATUSES_IGNORE = _Sentinel("MPI_STATUSES_IGNORE")
+#: bottom-of-address-space marker
+BOTTOM = _Sentinel("MPI_BOTTOM")
+
+#: largest tag value the library guarantees to carry (MPI_TAG_UB)
+TAG_UB = (1 << 30) - 1
+
+
+@dataclass
+class Status:
+    """Completion status of a receive or probe.
+
+    ``count`` is in bytes (our payloads are objects with a wire size, so
+    byte count is the natural unit and is what the drain algorithm's
+    per-pair counters use).
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    cancelled: bool = False
+
+    def get_source(self) -> int:
+        return self.source
+
+    def get_tag(self) -> int:
+        return self.tag
+
+    def get_count(self) -> int:
+        return self.count

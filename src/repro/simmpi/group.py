@@ -1,0 +1,108 @@
+"""MPI groups: ordered sets of world ranks, all operations local.
+
+``translate_ranks`` is the call MANA-2.0 leans on for globally unique
+communicator IDs (paper Section III-K): it needs no communication, so a
+process can compute the world-rank tuple of its communicator locally.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import MpiError
+from repro.simmpi.constants import UNDEFINED
+
+# comparison results (MPI_Group_compare)
+IDENT = "MPI_IDENT"
+SIMILAR = "MPI_SIMILAR"
+UNEQUAL = "MPI_UNEQUAL"
+
+
+class Group:
+    """An immutable ordered set of world ranks."""
+
+    __slots__ = ("world_ranks", "_index")
+
+    def __init__(self, world_ranks: Sequence[int]):
+        ranks = tuple(int(r) for r in world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise MpiError(f"group has duplicate ranks: {ranks}")
+        self.world_ranks: Tuple[int, ...] = ranks
+        self._index = {wr: i for i, wr in enumerate(ranks)}
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.world_ranks)
+
+    def rank_of(self, world_rank: int):
+        """Local rank of ``world_rank`` in this group, or MPI_UNDEFINED."""
+        return self._index.get(world_rank, UNDEFINED)
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._index
+
+    def world_rank(self, local_rank: int) -> int:
+        if not 0 <= local_rank < self.size:
+            raise MpiError(f"local rank {local_rank} out of range for {self!r}")
+        return self.world_ranks[local_rank]
+
+    # ------------------------------------------------------------------
+    def translate_ranks(
+        self, ranks: Sequence[int], other: "Group"
+    ) -> List[Union[int, object]]:
+        """MPI_Group_translate_ranks: map local ranks of self into other.
+
+        Purely local — the basis of Section III-K's globally unique IDs.
+        """
+        out: List[Union[int, object]] = []
+        for r in ranks:
+            wr = self.world_rank(r)
+            out.append(other.rank_of(wr))
+        return out
+
+    def translate_all_to(self, other: "Group") -> List[Union[int, object]]:
+        return self.translate_ranks(range(self.size), other)
+
+    # ------------------------------------------------------------------
+    def union(self, other: "Group") -> "Group":
+        ranks = list(self.world_ranks)
+        ranks += [r for r in other.world_ranks if r not in self._index]
+        return Group(ranks)
+
+    def intersection(self, other: "Group") -> "Group":
+        return Group([r for r in self.world_ranks if other.contains(r)])
+
+    def difference(self, other: "Group") -> "Group":
+        return Group([r for r in self.world_ranks if not other.contains(r)])
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        return Group([self.world_rank(r) for r in ranks])
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        drop = set(ranks)
+        for r in drop:
+            self.world_rank(r)  # range check
+        return Group(
+            [wr for i, wr in enumerate(self.world_ranks) if i not in drop]
+        )
+
+    def compare(self, other: "Group") -> str:
+        if self.world_ranks == other.world_ranks:
+            return IDENT
+        if set(self.world_ranks) == set(other.world_ranks):
+            return SIMILAR
+        return UNEQUAL
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self.world_ranks == other.world_ranks
+
+    def __hash__(self) -> int:
+        return hash(self.world_ranks)
+
+    def __repr__(self) -> str:
+        if self.size > 8:
+            head = ", ".join(str(r) for r in self.world_ranks[:8])
+            return f"<Group size={self.size} [{head}, ...]>"
+        return f"<Group {list(self.world_ranks)}>"

@@ -1,0 +1,110 @@
+"""Reduction operators for Reduce/Allreduce/Reduce_scatter/Scan.
+
+Operators work elementwise on numpy arrays and directly on Python
+scalars; MAXLOC/MINLOC operate on (value, index) pairs as in MPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReductionOp:
+    """A named, associative reduction with a two-argument combiner."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    commutative: bool = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_seq(self, values: list) -> Any:
+        """Left-fold ``values`` (rank order, as MPI specifies for
+        non-commutative operators)."""
+        if not values:
+            raise ValueError(f"{self.name}: cannot reduce zero values")
+        acc = values[0]
+        for v in values[1:]:
+            acc = self.fn(acc, v)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"MPI_{self.name}"
+
+    def __reduce__(self):  # pickle to the shared singleton
+        return (_op_by_name, (self.name,))
+
+
+def _add(a, b):
+    return np.add(a, b) if isinstance(a, np.ndarray) else a + b
+
+
+def _prod(a, b):
+    return np.multiply(a, b) if isinstance(a, np.ndarray) else a * b
+
+
+def _max(a, b):
+    return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+def _min(a, b):
+    return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+def _land(a, b):
+    return np.logical_and(a, b) if isinstance(a, np.ndarray) else bool(a) and bool(b)
+
+
+def _lor(a, b):
+    return np.logical_or(a, b) if isinstance(a, np.ndarray) else bool(a) or bool(b)
+
+
+def _band(a, b):
+    return np.bitwise_and(a, b) if isinstance(a, np.ndarray) else a & b
+
+
+def _bor(a, b):
+    return np.bitwise_or(a, b) if isinstance(a, np.ndarray) else a | b
+
+
+def _maxloc(a, b):
+    # (value, index) pairs; ties resolve to the lower index, as MPI does
+    if a[0] > b[0]:
+        return a
+    if b[0] > a[0]:
+        return b
+    return a if a[1] <= b[1] else b
+
+
+def _minloc(a, b):
+    if a[0] < b[0]:
+        return a
+    if b[0] < a[0]:
+        return b
+    return a if a[1] <= b[1] else b
+
+
+SUM = ReductionOp("SUM", _add)
+PROD = ReductionOp("PROD", _prod)
+MAX = ReductionOp("MAX", _max)
+MIN = ReductionOp("MIN", _min)
+LAND = ReductionOp("LAND", _land)
+LOR = ReductionOp("LOR", _lor)
+BAND = ReductionOp("BAND", _band)
+BOR = ReductionOp("BOR", _bor)
+MAXLOC = ReductionOp("MAXLOC", _maxloc)
+MINLOC = ReductionOp("MINLOC", _minloc)
+
+_ALL = {
+    op.name: op
+    for op in (SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR, MAXLOC, MINLOC)
+}
+
+
+def _op_by_name(name: str) -> ReductionOp:
+    return _ALL[name]

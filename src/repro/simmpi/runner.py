@@ -1,0 +1,72 @@
+"""Minimal native runner: execute rank coroutines directly on the library.
+
+This is the no-MANA execution path, used by unit tests, microbenchmarks,
+and as the "native" baseline in the paper-figure benches (the blue bars
+of Figure 2).  The full checkpoint-capable driver lives in
+``repro.mana.session``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.des.scheduler import Scheduler
+from repro.des.process import Proc
+from repro.hosts.machine import MachineSpec
+from repro.hosts.presets import TESTBOX
+from repro.simmpi.library import MpiLibrary, RankTask
+from repro.simnet.network import Network
+
+#: a rank program: generator function of (lib, task) returning a value
+RankProgram = Callable[[MpiLibrary, RankTask], Any]
+
+
+@dataclass
+class NativeRun:
+    """Outcome of a native (non-MANA) run."""
+
+    results: List[Any]
+    sched: Scheduler
+    lib: MpiLibrary
+    network: Network
+
+    @property
+    def elapsed(self) -> float:
+        return self.sched.now
+
+
+def run_native(
+    nranks: int,
+    make_program: RankProgram,
+    machine: MachineSpec = TESTBOX,
+    until: Optional[float] = None,
+) -> NativeRun:
+    """Run ``nranks`` copies of a rank program to completion.
+
+    ``make_program(lib, task)`` is called once per rank and must return a
+    generator.  Raises whatever the programs raise, including
+    :class:`repro.errors.DeadlockError` when they deadlock.
+    """
+    sched = Scheduler()
+    network = Network(sched, machine, nranks)
+    lib = MpiLibrary(sched, network, machine)
+    procs: List[Proc] = []
+    for r in range(nranks):
+        task_box: dict = {}
+
+        def body(box=task_box):
+            result = yield from make_program(lib, box["task"])
+            return result
+
+        proc = sched.spawn(body(), f"rank{r}")
+        task_box["task"] = lib.make_task(proc, r)
+        procs.append(proc)
+    sched.run(until=until)
+    unfinished = sched.unfinished()
+    if until is None and unfinished:
+        names = ", ".join(p.name for p in unfinished[:8])
+        raise RuntimeError(f"run ended with unfinished ranks: {names}")
+    return NativeRun(
+        results=[p.result for p in procs], sched=sched, lib=lib, network=network
+    )

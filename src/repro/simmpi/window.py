@@ -1,0 +1,114 @@
+"""One-sided communication (MPI_Win family) — lower-half support.
+
+The simulated library supports active-target RMA with fence
+synchronization, so *native* applications (like VASP 6 built without
+``-Dno_mpi_win``) can use it.  MANA does not: the paper (Section II-B)
+lists one-sided support as roadmap work, and Section IV-B requires
+VASP 6 to disable MPI_Win use — the MANA wrappers raise
+:class:`repro.errors.UnsupportedMpiFeature` on first touch, which is
+exactly the behaviour Table I's VASP 6 column depends on.
+
+Semantics (the common fence-epoch subset): ``put``/``accumulate`` are
+queued during an epoch and applied at the closing fence; ``get`` reads
+the window contents as of the *opening* fence.  Both orderings follow
+the MPI separation rules for non-overlapping access epochs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import MpiError
+
+_win_ids = itertools.count(1)
+
+
+class Window:
+    """One RMA window: a per-rank buffer plus epoch state."""
+
+    def __init__(self, comm, sizes: Dict[int, int]):
+        self.win_id = next(_win_ids)
+        self.comm = comm
+        #: committed buffer per local rank
+        self.buffers: Dict[int, np.ndarray] = {
+            r: np.zeros(n, dtype=np.float64) for r, n in sizes.items()
+        }
+        #: snapshot visible to gets during the current epoch
+        self._epoch_view: Dict[int, np.ndarray] = {}
+        #: queued (target, offset, data, op) puts/accumulates
+        self._pending: List[Tuple[int, int, np.ndarray, str]] = []
+        self.in_epoch = False
+        self.freed = False
+        self.fences = 0
+        #: per-rank fence call counts: equal numbers identify the same
+        #: collective fence instance (fences are called in order)
+        self._fence_seq: Dict[int, int] = {r: 0 for r in sizes}
+
+    # ------------------------------------------------------------------
+    def _check(self) -> None:
+        if self.freed:
+            raise MpiError(f"window #{self.win_id} is freed")
+
+    def next_fence_seq(self, local_rank: int) -> int:
+        seq = self._fence_seq[local_rank]
+        self._fence_seq[local_rank] = seq + 1
+        return seq
+
+    def open_epoch(self) -> None:
+        self._check()
+        self._epoch_view = {r: b.copy() for r, b in self.buffers.items()}
+        self.in_epoch = True
+
+    def close_epoch(self) -> None:
+        self._check()
+        if not self.in_epoch:
+            raise MpiError("fence closing a window that has no open epoch")
+        # apply queued updates in a deterministic order
+        for target, offset, data, op in sorted(
+            self._pending, key=lambda t: (t[0], t[1])
+        ):
+            buf = self.buffers[target]
+            if offset + len(data) > len(buf):
+                raise MpiError(
+                    f"RMA access [{offset}, {offset + len(data)}) outside "
+                    f"window of size {len(buf)} at rank {target}"
+                )
+            if op == "put":
+                buf[offset:offset + len(data)] = data
+            elif op == "acc":
+                buf[offset:offset + len(data)] += data
+            else:  # pragma: no cover - guarded at queue time
+                raise MpiError(f"unknown RMA op {op}")
+        self._pending = []
+        self._epoch_view = {}
+        self.in_epoch = False
+        self.fences += 1
+
+    # ------------------------------------------------------------------
+    def queue_put(self, target: int, offset: int, data: np.ndarray) -> None:
+        self._check()
+        if not self.in_epoch:
+            raise MpiError("MPI_Put outside an access epoch (call Win_fence)")
+        self._pending.append((target, int(offset), np.array(data, dtype=np.float64), "put"))
+
+    def queue_accumulate(self, target: int, offset: int, data: np.ndarray) -> None:
+        self._check()
+        if not self.in_epoch:
+            raise MpiError("MPI_Accumulate outside an access epoch")
+        self._pending.append((target, int(offset), np.array(data, dtype=np.float64), "acc"))
+
+    def read(self, target: int, offset: int, count: int) -> np.ndarray:
+        """MPI_Get: the epoch-opening snapshot of the target buffer."""
+        self._check()
+        if not self.in_epoch:
+            raise MpiError("MPI_Get outside an access epoch")
+        view = self._epoch_view[target]
+        if offset + count > len(view):
+            raise MpiError(
+                f"RMA get [{offset}, {offset + count}) outside window "
+                f"of size {len(view)} at rank {target}"
+            )
+        return view[offset:offset + count].copy()

@@ -1,0 +1,23 @@
+"""Simulated interconnect with genuinely in-flight messages.
+
+The network is the piece of the substrate the drain algorithm of paper
+Section III-B is *about*: between a sender's injection and the receiver's
+matching, bytes live in the fabric, and a checkpoint taken then would
+lose them.  :class:`~repro.simnet.network.Network` therefore tracks every
+message from injection to delivery, exposes in-flight accounting that the
+test suite uses to verify the drain invariant (after a MANA drain the
+fabric is empty), and enforces MPI's per-(source, destination) non-
+overtaking order.
+
+The coordinator's side channel (DMTCP uses a TCP socket to a central
+coordinator) is modeled by :class:`~repro.simnet.oob.OobChannel`,
+deliberately slower per message than the MPI fabric — that asymmetry is
+why MANA-2.0 moved drain bookkeeping from the coordinator onto
+``MPI_Alltoall`` (Section III, item 4).
+"""
+
+from repro.simnet.message import Message
+from repro.simnet.network import Network, NetworkStats
+from repro.simnet.oob import OobChannel, COORDINATOR_ID
+
+__all__ = ["Message", "Network", "NetworkStats", "OobChannel", "COORDINATOR_ID"]

@@ -1,0 +1,41 @@
+"""Wire message envelope."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One point-to-point message in the fabric.
+
+    ``src``/``dst`` are world ranks; ``context_id`` identifies the
+    communicator (or an internal collective context) so that matching in
+    the MPI engine is per-communicator as the standard requires.  ``tag``
+    carries the application or algorithm tag.  ``nbytes`` is the payload
+    wire size used both by the cost model and by MANA's per-pair byte
+    counters; it is computed once at send time so the sender's counter
+    and the receiver's counter can never disagree.
+    """
+
+    src: int
+    dst: int
+    context_id: int
+    tag: int
+    payload: Any
+    nbytes: int
+    injected_at: float = 0.0
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def match_key(self) -> tuple:
+        return (self.context_id, self.src, self.tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Msg #{self.msg_id} {self.src}->{self.dst} ctx={self.context_id} "
+            f"tag={self.tag} {self.nbytes}B>"
+        )

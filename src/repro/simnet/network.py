@@ -1,0 +1,177 @@
+"""The interconnect: injection, in-flight tracking, ordered delivery."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.des.scheduler import Scheduler
+from repro.hosts.machine import MachineSpec
+from repro.simnet.message import Message
+
+DeliveryFn = Callable[[Message], None]
+
+
+class NetworkStats:
+    """Cumulative traffic counters (used by benches and Figure 4)."""
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.intranode_messages = 0
+        self.internode_messages = 0
+
+    def record(self, msg: Message, intranode: bool) -> None:
+        self.messages += 1
+        self.bytes += msg.nbytes
+        if intranode:
+            self.intranode_messages += 1
+        else:
+            self.internode_messages += 1
+
+
+class Network:
+    """Point-to-point fabric with per-pair FIFO order and in-flight state.
+
+    Delivery time for a message of ``n`` bytes between ranks on different
+    nodes is ``latency + n / bandwidth``; same-node pairs use the faster
+    intranode constants.  MPI's non-overtaking rule is enforced by
+    clamping each arrival to be no earlier than the previous arrival on
+    the same (src, dst) pair.
+
+    A message is *in flight* from :meth:`inject` until the destination
+    endpoint's delivery callback runs.  :meth:`in_flight_bytes` and
+    :meth:`pending_messages` expose that state for the drain invariant
+    checks; the MANA drain itself never peeks at this (it only uses MPI
+    calls, as in the paper) — only tests and assertions do.
+    """
+
+    def __init__(self, sched: Scheduler, machine: MachineSpec, nranks: int):
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self._sched = sched
+        self._machine = machine
+        self.nranks = nranks
+        self._endpoints: List[Optional[DeliveryFn]] = [None] * nranks
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self._in_flight: Dict[Tuple[int, int], List[Message]] = defaultdict(list)
+        self._in_flight_total = 0
+        self.stats = NetworkStats()
+        self._sealed = False
+        self._purged: set = set()
+
+    # ------------------------------------------------------------------
+    def attach_endpoint(self, world_rank: int, deliver: DeliveryFn) -> None:
+        """Register the delivery callback for a rank (the MPI engine)."""
+        if not 0 <= world_rank < self.nranks:
+            raise SimulationError(f"rank {world_rank} out of range")
+        if self._endpoints[world_rank] is not None:
+            raise SimulationError(f"endpoint for rank {world_rank} already attached")
+        self._endpoints[world_rank] = deliver
+
+    def seal(self) -> None:
+        """Refuse all further injections (restart teardown guard)."""
+        self._sealed = True
+
+    # ------------------------------------------------------------------
+    def transit_time(self, src: int, dst: int, nbytes: int) -> float:
+        intranode = self._machine.node_of(src) == self._machine.node_of(dst)
+        if intranode:
+            return (
+                self._machine.intranode_latency
+                + nbytes / self._machine.intranode_bandwidth
+            )
+        return self._machine.net_latency + nbytes / self._machine.net_bandwidth
+
+    def inject(self, msg: Message) -> None:
+        """Put a message into the fabric; delivery is scheduled, ordered."""
+        if self._sealed:
+            raise SimulationError("inject() on a sealed (torn down) network")
+        if self._endpoints[msg.dst] is None:
+            raise SimulationError(f"no endpoint attached for rank {msg.dst}")
+        msg.injected_at = self._sched.now
+        pair = (msg.src, msg.dst)
+        intranode = self._machine.node_of(msg.src) == self._machine.node_of(msg.dst)
+        arrival = self._sched.now + self.transit_time(msg.src, msg.dst, msg.nbytes)
+        prev = self._last_arrival.get(pair, -1.0)
+        if arrival <= prev:
+            arrival = prev + 1e-12  # preserve per-pair FIFO with distinct times
+        self._last_arrival[pair] = arrival
+        self._in_flight[pair].append(msg)
+        self._in_flight_total += 1
+        self.stats.record(msg, intranode)
+        self._sched.schedule_at(arrival, lambda m=msg: self._deliver(m))
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.msg_id in self._purged:
+            self._purged.discard(msg.msg_id)
+            return
+        pair = (msg.src, msg.dst)
+        queue = self._in_flight[pair]
+        if not queue or queue[0] is not msg:
+            raise SimulationError(
+                f"FIFO violation delivering {msg!r}; head is "
+                f"{queue[0]!r}" if queue else f"lost message {msg!r}"
+            )
+        queue.pop(0)
+        self._in_flight_total -= 1
+        endpoint = self._endpoints[msg.dst]
+        assert endpoint is not None
+        endpoint(msg)
+
+    # ------------------------------------------------------------------
+    # in-flight introspection (tests/assertions only; MANA never calls it)
+    # ------------------------------------------------------------------
+    def in_flight_count(self) -> int:
+        return self._in_flight_total
+
+    def in_flight_bytes(
+        self, src: Optional[int] = None, dst: Optional[int] = None
+    ) -> int:
+        total = 0
+        for (s, d), msgs in self._in_flight.items():
+            if src is not None and s != src:
+                continue
+            if dst is not None and d != dst:
+                continue
+            total += sum(m.nbytes for m in msgs)
+        return total
+
+    def pending_messages(self) -> List[Message]:
+        out: List[Message] = []
+        for msgs in self._in_flight.values():
+            out.extend(msgs)
+        out.sort(key=lambda m: m.msg_id)
+        return out
+
+    # ------------------------------------------------------------------
+    # restart support: the fabric persists across a lower-half teardown;
+    # only the dead library's state is dropped
+    # ------------------------------------------------------------------
+    def purge_in_flight(self) -> int:
+        """Drop every in-flight message (closing the old lower half's
+        connections).  Returns the number of messages dropped.  After a
+        correct MANA drain only collective-internal messages can remain,
+        and those are regenerated by replay — the restart engine asserts
+        exactly that before calling this."""
+        n = 0
+        for msgs in self._in_flight.values():
+            for m in msgs:
+                self._purged.add(m.msg_id)
+                n += 1
+            msgs.clear()
+        self._in_flight_total = 0
+        return n
+
+    def reset_endpoints(self) -> None:
+        """Detach every endpoint so a fresh library can re-attach."""
+        self._endpoints = [None] * self.nranks
+
+    def assert_empty(self) -> None:
+        """Raise if any message is still in flight (post-drain invariant)."""
+        if self._in_flight_total:
+            pend = ", ".join(repr(m) for m in self.pending_messages()[:8])
+            raise SimulationError(
+                f"network not empty: {self._in_flight_total} in flight ({pend} ...)"
+            )

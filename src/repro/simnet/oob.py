@@ -1,0 +1,70 @@
+"""Out-of-band control channel (the DMTCP coordinator socket).
+
+DMTCP connects every rank to one centralized coordinator over TCP.  The
+paper (Section III, item 4) observes that routing checkpoint bookkeeping
+through this channel is expensive at scale, which motivated moving the
+drain accounting onto ``MPI_Alltoall``.  To make that trade-off visible
+in benches, the OOB channel has distinctly worse latency than the Aries
+fabric and a serialization point at the coordinator (messages to the
+coordinator are handled one at a time).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import SimulationError
+from repro.des.mailbox import Mailbox
+from repro.des.scheduler import Scheduler
+
+#: Endpoint ID of the centralized coordinator on the OOB channel.
+COORDINATOR_ID = -1
+
+
+class OobChannel:
+    """Star topology: every rank <-> coordinator, plus rank <-> rank allowed.
+
+    Endpoints are mailboxes; receivers park on their mailbox.  Per-message
+    cost is ``latency`` plus a per-byte term; messages addressed to the
+    coordinator additionally pass through a serialization queue modeling
+    the single accept loop of the real coordinator process.
+    """
+
+    def __init__(
+        self,
+        sched: Scheduler,
+        latency: float = 25e-6,
+        byte_time: float = 1.0 / 1.0e9,
+        coordinator_service_time: float = 2e-6,
+    ):
+        self._sched = sched
+        self.latency = latency
+        self.byte_time = byte_time
+        self.coordinator_service_time = coordinator_service_time
+        self._mailboxes: Dict[int, Mailbox] = {}
+        self._coord_busy_until = 0.0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, endpoint_id: int) -> Mailbox:
+        if endpoint_id in self._mailboxes:
+            raise SimulationError(f"OOB endpoint {endpoint_id} already registered")
+        box = Mailbox(self._sched, name=f"oob[{endpoint_id}]")
+        self._mailboxes[endpoint_id] = box
+        return box
+
+    def send(self, dst: int, item: Any, nbytes: int = 64) -> None:
+        """Fire-and-forget send; delivery lands in the dst mailbox."""
+        try:
+            box = self._mailboxes[dst]
+        except KeyError:
+            raise SimulationError(f"no OOB endpoint {dst}") from None
+        delay = self.latency + nbytes * self.byte_time
+        if dst == COORDINATOR_ID:
+            # model the coordinator's single-threaded accept loop
+            ready = max(self._sched.now + delay, self._coord_busy_until)
+            self._coord_busy_until = ready + self.coordinator_service_time
+            delay = self._coord_busy_until - self._sched.now
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self._sched.schedule(delay, lambda: box.put(item))

@@ -1,0 +1,19 @@
+"""Shared utilities: stable hashing, serialization, RNG, table rendering."""
+
+from repro.util.hashing import stable_hash, hash_rank_tuple
+from repro.util.rng import make_rng, derive_seed
+from repro.util.serde import dumps, loads, payload_nbytes
+from repro.util.tables import AsciiTable, format_series, format_ratio
+
+__all__ = [
+    "stable_hash",
+    "hash_rank_tuple",
+    "make_rng",
+    "derive_seed",
+    "dumps",
+    "loads",
+    "payload_nbytes",
+    "AsciiTable",
+    "format_series",
+    "format_ratio",
+]

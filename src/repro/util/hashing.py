@@ -1,0 +1,42 @@
+"""Stable (process-independent) hashing.
+
+Python's builtin ``hash`` is salted per interpreter run, which would make
+MANA's globally-unique communicator IDs (paper Section III-K) differ
+between a checkpoint and a restart in a fresh process.  All IDs that must
+survive a restart therefore use BLAKE2 over a canonical byte encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, Sequence
+
+
+def stable_hash(data: bytes, bits: int = 64) -> int:
+    """Return a stable unsigned integer hash of ``data`` with ``bits`` bits."""
+    if bits % 8 != 0 or not 8 <= bits <= 256:
+        raise ValueError(f"bits must be a multiple of 8 in [8, 256], got {bits}")
+    digest = hashlib.blake2b(data, digest_size=bits // 8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def hash_rank_tuple(world_ranks: Sequence[int], bits: int = 64) -> int:
+    """Hash a sequence of MPI_COMM_WORLD ranks into a globally-unique ID.
+
+    This is the reproduction of the paper's Section III-K: each process
+    translates the ranks ``0..size-1`` of its current communicator into
+    world ranks with ``MPI_Translate_group_ranks`` (a purely local call)
+    and hashes the resulting tuple.  Two processes in the same communicator
+    compute the same ID with no communication; distinct rank sets collide
+    only with probability ~2^-bits.
+    """
+    buf = struct.pack(f"<{len(world_ranks) + 1}q", len(world_ranks), *world_ranks)
+    return stable_hash(buf, bits=bits)
+
+
+def hash_ints(values: Iterable[int], bits: int = 64) -> int:
+    """Stable hash of an arbitrary iterable of Python ints."""
+    vals = list(values)
+    buf = struct.pack(f"<{len(vals) + 1}q", len(vals), *vals)
+    return stable_hash(buf, bits=bits)

@@ -1,0 +1,81 @@
+"""Serialization for checkpoint images and payload size accounting.
+
+Checkpoint images must round-trip through real bytes on disk (the REEXEC
+restart mode reloads them in a fresh simulator), so everything MANA
+snapshots is encoded with pickle protocol 5 plus a small header.  Message
+payload sizes feed the network cost model and the drain algorithm's
+per-pair byte counters, so :func:`payload_nbytes` must be consistent for
+a given object no matter when it is asked.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import struct
+import zlib
+from typing import Any
+
+import numpy as np
+
+_MAGIC = b"MANA2RPR"
+_VERSION_PLAIN = 1
+_VERSION_ZLIB = 2
+
+
+def dumps(obj: Any, compress: bool = False) -> bytes:
+    """Serialize ``obj`` into a framed, versioned byte string.
+
+    ``compress`` applies zlib (the analog of DMTCP's --gzip images);
+    :func:`loads` dispatches on the frame version either way."""
+    body = pickle.dumps(obj, protocol=5)
+    if compress:
+        return _MAGIC + struct.pack("<I", _VERSION_ZLIB) + zlib.compress(body, 6)
+    return _MAGIC + struct.pack("<I", _VERSION_PLAIN) + body
+
+
+def loads(data: bytes) -> Any:
+    """Inverse of :func:`dumps`; validates the frame header."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ValueError("not a MANA reproduction image (bad magic)")
+    (version,) = struct.unpack_from("<I", data, len(_MAGIC))
+    body = data[len(_MAGIC) + 4 :]
+    if version == _VERSION_ZLIB:
+        return pickle.loads(zlib.decompress(body))
+    if version != _VERSION_PLAIN:
+        raise ValueError(f"unsupported image version {version}")
+    return pickle.loads(body)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Best-effort wire size of a message payload, in bytes.
+
+    numpy arrays and scalars report their true buffer size; bytes-like
+    objects their length; other Python objects fall back to their pickled
+    size (deterministic for the value types our workloads send).
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, complex):
+        return 16
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, (list, tuple)):
+        return 8 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    buf = io.BytesIO()
+    pickle.dump(obj, buf, protocol=5)
+    return buf.tell()

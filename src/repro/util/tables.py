@@ -1,0 +1,89 @@
+"""ASCII rendering for benchmark tables and figure series.
+
+The benchmark harness regenerates each of the paper's tables and figures
+as text: tables as aligned grids, figures as labelled series (and a tiny
+bar chart for run-time comparisons).  Keeping rendering in one place lets
+every bench print in the same layout that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class AsciiTable:
+    """Minimal aligned-column table with an optional title.
+
+    >>> t = AsciiTable(["arch", "native", "mana"], title="Table II")
+    >>> t.add_row(["Haswell", "25s", "41s"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(sep))
+        lines.append(fmt(self.headers))
+        lines.append(sep)
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def format_ratio(numer: float, denom: float) -> str:
+    """Render a runtime ratio like the yellow line in the paper's Fig. 2."""
+    if denom <= 0:
+        return "n/a"
+    return f"{numer / denom:.2f}x"
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    y_fmt: str = "{:.3g}",
+    bar: bool = False,
+    bar_width: int = 40,
+) -> str:
+    """Render one figure series as aligned ``x: y`` lines.
+
+    With ``bar=True`` a proportional ASCII bar is appended to each line,
+    which is how the bench scripts visualize Fig. 2/Fig. 3 bar groups.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    x_strs = [str(x) for x in xs]
+    xw = max((len(s) for s in x_strs), default=0)
+    y_strs = [y_fmt.format(y) for y in ys]
+    yw = max((len(s) for s in y_strs), default=0)
+    peak = max((y for y in ys if y > 0), default=1.0)
+    lines = [f"{name}:"]
+    for xs_, ys_, yval in zip(x_strs, y_strs, ys):
+        line = f"  {xs_.rjust(xw)}  {ys_.rjust(yw)}"
+        if bar and peak > 0:
+            n = int(round(bar_width * max(yval, 0.0) / peak))
+            line += "  " + "#" * n
+        lines.append(line)
+    return "\n".join(lines)

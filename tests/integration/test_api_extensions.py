@@ -1,0 +1,209 @@
+"""Integration: the extended API surface — sendrecv, probe, waitany,
+testany, testall — in both bindings, including across checkpoints."""
+
+import pytest
+
+from repro.apps.base import MpiProgram
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan, run_app_native
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+
+CFG = ManaConfig.feature_2pc()
+
+
+def both_bindings(nranks, factory, plans=()):
+    """Run natively and under MANA; results must agree."""
+    native = run_app_native(nranks, factory, TESTBOX)
+    mana = ManaSession(nranks, factory, TESTBOX, CFG).run(checkpoints=plans)
+    assert mana.results == native.results
+    return native, mana
+
+
+class RingShift(MpiProgram):
+    """Sendrecv ring shift: the canonical deadlock-free exchange."""
+
+    def __init__(self, rank, rounds=4):
+        super().__init__(rank)
+        self.rounds = rounds
+
+    def main(self, api):
+        p, me = api.size, api.rank
+        value = me
+        for rnd in range(self.rounds):
+            value, _st = yield from api.sendrecv(
+                value, dest=(me + 1) % p, sendtag=rnd,
+                source=(me - 1) % p, recvtag=rnd,
+            )
+        return value
+
+
+class ProbeThenRecv(MpiProgram):
+    def main(self, api):
+        if api.rank == 0:
+            yield from api.compute(1e-3)
+            yield from api.send(b"x" * 37, 1, tag=9)
+            return None
+        status = yield from api.probe(source=0, tag=9)
+        size_known = status.count
+        data, st = yield from api.recv(0, 9)
+        return size_known, st.count, len(data)
+
+
+class WaitanyConsumer(MpiProgram):
+    """Rank 0 receives from everyone with waitany, in completion order."""
+
+    def __init__(self, rank, nranks):
+        super().__init__(rank)
+        self.nranks = nranks
+
+    def main(self, api):
+        if api.rank != 0:
+            yield from api.compute(1e-4 * api.rank)  # staggered sends
+            yield from api.send(api.rank * 10, 0, tag=1)
+            return None
+        slots = []
+        for src in range(1, self.nranks):
+            slot = yield from api.irecv(source=src, tag=1)
+            slots.append(slot)
+        got = []
+        for _ in range(len(slots)):
+            i, payload, st = yield from api.waitany(slots)
+            got.append((i, payload))
+        assert all(s.is_null for s in slots)
+        extra = yield from api.waitany(slots)  # all-null: MPI returns empty
+        assert extra == (None, None, None)
+        return sorted(got)
+
+
+class BatchTestall(MpiProgram):
+    def __init__(self, rank, nranks):
+        super().__init__(rank)
+        self.nranks = nranks
+
+    def main(self, api):
+        if api.rank != 0:
+            yield from api.compute(2e-4)
+            yield from api.send(api.rank, 0, tag=2)
+            return None
+        slots = []
+        for src in range(1, self.nranks):
+            slot = yield from api.irecv(source=src, tag=2)
+            slots.append(slot)
+        flag_early, _ = yield from api.testall(slots)
+        # testall must not have consumed anything on failure
+        consumed_early = [s.is_null for s in slots]
+        while True:
+            flag, results = yield from api.testall(slots)
+            if flag:
+                break
+            yield from api.compute(5e-5)
+        payloads = sorted(p for p, _st in results)
+        return flag_early, consumed_early, payloads
+
+
+class PollerTestany(MpiProgram):
+    def __init__(self, rank, nranks):
+        super().__init__(rank)
+        self.nranks = nranks
+
+    def main(self, api):
+        if api.rank != 0:
+            yield from api.compute(1e-4)
+            yield from api.send(api.rank, 0, tag=3)
+            return None
+        slots = []
+        for src in range(1, self.nranks):
+            slot = yield from api.irecv(source=src, tag=3)
+            slots.append(slot)
+        got = []
+        while len(got) < len(slots):
+            flag, i, payload, _st = yield from api.testany(slots)
+            if flag:
+                got.append(payload)
+            else:
+                yield from api.compute(5e-5)
+        return sorted(got)
+
+
+def test_sendrecv_ring():
+    native, _ = both_bindings(5, lambda r: RingShift(r, rounds=5))
+    # after p rounds the values return home
+    assert native.results == list(range(5))
+
+
+def test_sendrecv_survives_restart():
+    factory = lambda r: RingShift(r, rounds=8)
+    base = ManaSession(4, factory, TESTBOX, CFG).run()
+    out = ManaSession(4, factory, TESTBOX, CFG).run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="restart")]
+    )
+    assert out.results == base.results
+
+
+def test_probe_reports_size_without_consuming():
+    native, _ = both_bindings(2, lambda r: ProbeThenRecv(r))
+    assert native.results[1] == (37, 37, 37)
+
+
+def test_waitany_collects_in_completion_order():
+    n = 5
+    native, _ = both_bindings(n, lambda r: WaitanyConsumer(r, n))
+    # index i corresponds to source i+1 (payload (i+1)*10)
+    assert native.results[0] == [(i, (i + 1) * 10) for i in range(n - 1)]
+
+
+def test_testall_is_all_or_nothing():
+    n = 4
+    native, _ = both_bindings(n, lambda r: BatchTestall(r, n))
+    flag_early, consumed_early, payloads = native.results[0]
+    # the early testall (before messages arrive) must consume nothing
+    assert flag_early is False
+    assert consumed_early == [False] * (n - 1)
+    assert payloads == [1, 2, 3]
+
+
+def test_testany_mana():
+    n = 4
+    factory = lambda r: PollerTestany(r, n)
+    out = ManaSession(n, factory, TESTBOX, CFG).run()
+    assert out.results[0] == [1, 2, 3]
+
+
+def test_waitany_checkpoint_restart_mid_wait():
+    """A checkpoint landing while rank 0 is parked in waitany."""
+    n = 4
+
+    class SlowSenders(WaitanyConsumer):
+        def main(self, api):
+            if api.rank != 0:
+                yield from api.compute(5e-3 * api.rank)  # long stagger
+                yield from api.send(api.rank * 10, 0, tag=1)
+                return None
+            result = yield from super().main(api)
+            return result
+
+    factory = lambda r: SlowSenders(r, n)
+    base = ManaSession(n, factory, TESTBOX, CFG).run()
+    out = ManaSession(n, factory, TESTBOX, CFG).run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="restart")]
+    )
+    assert out.results == base.results
+
+
+def test_reexec_with_waitany(tmp_path):
+    from repro.mana.session import HALTED, resume_from_checkpoint
+
+    cfg = CFG.but(record_replay=True)
+    n = 4
+    factory = lambda r: WaitanyConsumer(r, n)
+    base = ManaSession(n, factory, TESTBOX, cfg).run()
+    halted = ManaSession(n, factory, TESTBOX, cfg)
+    out = halted.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="halt")]
+    )
+    assert out.results == [HALTED] * n
+    path = tmp_path / "w.img"
+    halted.save_checkpoint(path)
+    resumed = resume_from_checkpoint(path, factory, TESTBOX, cfg).run()
+    assert resumed.results == base.results

@@ -1,0 +1,165 @@
+"""Integration: the paper workload proxies, native and under MANA,
+including checkpoint/restart mid-run."""
+
+import pytest
+
+from repro.apps.dft_proxy import DftConfig, DftProxy
+from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.apps.workloads import TABLE_I, workload
+from repro.errors import UnsupportedMpiFeature
+from repro.hosts import CORI_HASWELL, CORI_KNL, TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan, run_app_native
+
+
+def md_factory(nranks, steps=12, machine=TESTBOX, **kw):
+    cfg = MdConfig(nranks=nranks, steps=steps, **kw)
+    return lambda r: MdProxy(r, cfg, machine)
+
+
+def dft_factory(nranks, name="CaPOH", iterations=3, machine=TESTBOX, **kw):
+    cfg = DftConfig(nranks=nranks, workload=workload(name),
+                    iterations=iterations, **kw)
+    return lambda r: DftProxy(r, cfg, machine)
+
+
+class TestMdProxy:
+    def test_native_run_completes_deterministically(self):
+        f = md_factory(8)
+        a = run_app_native(8, f, TESTBOX)
+        b = run_app_native(8, f, TESTBOX)
+        assert a.results == b.results
+        assert a.elapsed == b.elapsed
+        assert a.total_pt2pt_calls > a.total_collective_calls  # GROMACS-like
+
+    def test_neighbors_are_symmetric(self):
+        cfg = MdConfig(nranks=8, steps=1)
+        proxies = [MdProxy(r, cfg, TESTBOX) for r in range(8)]
+        for r, p in enumerate(proxies):
+            for nb in p.neighbors():
+                assert r in proxies[nb].neighbors()
+
+    def test_mana_matches_native(self):
+        f = md_factory(8)
+        native = run_app_native(8, f, TESTBOX)
+        mana = ManaSession(8, f, TESTBOX, ManaConfig.feature_2pc()).run()
+        assert mana.results == native.results
+        assert mana.elapsed > native.elapsed
+
+    def test_checkpoint_restart_preserves_trajectory(self):
+        f = md_factory(8, steps=20, reduce_every=5)
+        base = ManaSession(8, f, TESTBOX, ManaConfig.feature_2pc()).run()
+        ck = ManaSession(8, f, TESTBOX, ManaConfig.feature_2pc()).run(
+            checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="restart")]
+        )
+        assert ck.results == base.results
+
+    def test_overhead_grows_with_scale_on_haswell(self):
+        """The Figure 2 mechanism: strong scaling shrinks compute while
+        per-call interposition cost stays, so the MANA/native ratio
+        grows with rank count."""
+        ratios = []
+        for nranks in (8, 32):
+            f = md_factory(nranks, steps=6, machine=CORI_HASWELL)
+            native = run_app_native(nranks, f, CORI_HASWELL)
+            mana = ManaSession(
+                nranks, f, CORI_HASWELL, ManaConfig.master()
+            ).run()
+            ratios.append(mana.elapsed / native.elapsed)
+        assert ratios[1] > ratios[0] > 1.0
+
+
+class TestDftProxy:
+    def test_native_completes_with_heavy_collectives(self):
+        f = dft_factory(8)
+        out = run_app_native(8, f, TESTBOX)
+        assert out.total_collective_calls > out.total_pt2pt_calls  # VASP-like
+        checksum, residuals = out.results[0]
+        assert len(residuals) == 3
+        assert all(r[1] == residuals for r in out.results)
+
+    @pytest.mark.parametrize("name", [w.name for w in TABLE_I])
+    def test_all_table1_workloads_run_natively(self, name):
+        f = dft_factory(4, name=name, iterations=2)
+        out = run_app_native(4, f, TESTBOX)
+        assert len(out.results) == 4
+
+    def test_mana_checkpoint_restart_all_algo_paths(self):
+        # one representative per algorithm family
+        for name in ("PdO4", "CaPOH", "Si256_hse", "GaAs-GW0"):
+            f = dft_factory(4, name=name, iterations=3)
+            base = ManaSession(4, f, TESTBOX, ManaConfig.feature_2pc()).run()
+            ck = ManaSession(4, f, TESTBOX, ManaConfig.feature_2pc()).run(
+                checkpoints=[
+                    CheckpointPlan(at=base.elapsed * 0.5, action="restart")
+                ]
+            )
+            assert ck.results == base.results, name
+
+    def test_vasp6_with_mpi_win_fails_cleanly(self):
+        f = dft_factory(4, vasp6=True, use_mpi_win=True)
+        with pytest.raises(UnsupportedMpiFeature, match="MPI_Win"):
+            ManaSession(4, f, TESTBOX, ManaConfig.feature_2pc()).run()
+
+    def test_vasp6_without_mpi_win_checkpoints(self):
+        f = dft_factory(4, vasp6=True, use_mpi_win=False)
+        base = ManaSession(4, f, TESTBOX, ManaConfig.feature_2pc()).run()
+        ck = ManaSession(4, f, TESTBOX, ManaConfig.feature_2pc()).run(
+            checkpoints=[CheckpointPlan(at=base.elapsed * 0.4, action="restart")]
+        )
+        assert ck.results == base.results
+
+    def test_knl_native_slower_than_haswell(self):
+        f_h = dft_factory(8, machine=CORI_HASWELL)
+        f_k = dft_factory(8, machine=CORI_KNL)
+        h = run_app_native(8, f_h, CORI_HASWELL)
+        k = run_app_native(8, f_k, CORI_KNL)
+        assert k.elapsed > h.elapsed * 1.5
+
+
+class TestIonicRelaxation:
+    """VASP's atomic-relaxation outer loop (IBRION) around SCF — the
+    mode the paper notes is covered by VASP's own C/R, reproduced here
+    so MANA's coverage can be compared on the same footing."""
+
+    def test_relaxation_runs_and_differs_from_single_point(self):
+        w = workload("WOSiH")
+        single = DftConfig(nranks=4, workload=w, iterations=2, ionic_steps=1)
+        relaxed = DftConfig(nranks=4, workload=w, iterations=2, ionic_steps=3)
+        out1 = run_app_native(4, lambda r: DftProxy(r, single, TESTBOX), TESTBOX)
+        out3 = run_app_native(4, lambda r: DftProxy(r, relaxed, TESTBOX), TESTBOX)
+        _c1, res1 = out1.results[0]
+        _c3, res3 = out3.results[0]
+        assert len(res3) == 3 * len(res1)
+
+    def test_relaxation_checkpoint_restart_mid_ionic_step(self):
+        w = workload("WOSiH")
+        cfg = DftConfig(nranks=4, workload=w, iterations=2, ionic_steps=3)
+        factory = lambda r: DftProxy(r, cfg, TESTBOX)
+        mana = ManaConfig.feature_2pc()
+        base = ManaSession(4, factory, TESTBOX, mana).run()
+        ck = ManaSession(4, factory, TESTBOX, mana).run(
+            checkpoints=[CheckpointPlan(at=base.elapsed * 0.55,
+                                        action="restart")]
+        )
+        assert ck.results == base.results
+
+
+class TestPmeMode:
+    """GROMACS' PME path: periodic FFT-transpose alltoalls on top of the
+    halo exchange — a mixed pt2pt + collective signature."""
+
+    def test_pme_adds_alltoalls(self):
+        plain = run_app_native(8, md_factory(8, steps=8), TESTBOX)
+        f = md_factory(8, steps=8, pme_every=2)
+        pme = run_app_native(8, f, TESTBOX)
+        assert pme.lib_calls.get("alltoall", 0) > plain.lib_calls.get("alltoall", 0)
+
+    def test_pme_checkpoint_restart(self):
+        f = md_factory(8, steps=16, pme_every=4)
+        base = ManaSession(8, f, TESTBOX, ManaConfig.feature_2pc()).run()
+        ck = ManaSession(8, f, TESTBOX, ManaConfig.feature_2pc()).run(
+            checkpoints=[CheckpointPlan(at=base.elapsed * 0.5,
+                                        action="restart")]
+        )
+        assert ck.results == base.results

@@ -1,0 +1,120 @@
+"""Integration: the Section VI deadlock detector (tools-interface
+future work, implemented)."""
+
+import pytest
+
+from repro.apps.base import MpiProgram
+from repro.apps.micro import BcastThenSend
+from repro.errors import DeadlockError
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.deadlock import analyze
+
+CFG = ManaConfig.feature_2pc()
+
+
+class MutualRecv(MpiProgram):
+    """Ranks 0 and 1 both receive first: the textbook deadlock."""
+
+    def main(self, api):
+        if api.rank in (0, 1):
+            peer = 1 - api.rank
+            data, _ = yield from api.recv(source=peer, tag=0)
+            yield from api.send("never", peer, tag=0)
+            return data
+        # other ranks do independent work, then wait forever on rank 0
+        for _ in range(3):
+            yield from api.compute(1e-3)
+            yield from api.barrier(comm=None) if False else None
+        data, _ = yield from api.recv(source=0, tag=9)
+        return data
+
+
+class PartialDeadlock(MpiProgram):
+    """Ranks 0/1 deadlock on each other; ranks 2/3 run fine."""
+
+    def main(self, api):
+        if api.rank == 0:
+            data, _ = yield from api.recv(source=1, tag=0)
+            return data
+        if api.rank == 1:
+            data, _ = yield from api.recv(source=0, tag=0)
+            return data
+        # ranks 2..: a healthy ping-pong
+        peer = 5 - api.rank  # 2 <-> 3
+        for i in range(200):
+            if api.rank == 2:
+                yield from api.send(i, peer, tag=1)
+                data, _ = yield from api.recv(source=peer, tag=1)
+            else:
+                data, _ = yield from api.recv(source=peer, tag=1)
+                yield from api.send(i, peer, tag=1)
+            yield from api.compute(5e-5)
+        return "healthy"
+
+
+class AnySourceSaved(MpiProgram):
+    """Rank 0 waits on ANY_SOURCE; rank 1 would deadlock it, but rank 2
+    eventually sends — an OR-dependency that must NOT be reported."""
+
+    def main(self, api):
+        if api.rank == 0:
+            from repro.simmpi.constants import ANY_SOURCE
+            data, st = yield from api.recv(source=ANY_SOURCE, tag=0)
+            yield from api.send("unblock", 1, tag=1)
+            return data
+        if api.rank == 1:
+            data, _ = yield from api.recv(source=0, tag=1)
+            return data
+        yield from api.compute(5e-3)  # slow, but it does send
+        yield from api.send("relief", 0, tag=0)
+        return None
+
+
+def test_monitor_names_the_mutual_recv_pair():
+    factory = lambda r: PartialDeadlock(r)
+    session = ManaSession(4, factory, TESTBOX, CFG)
+    with pytest.raises(DeadlockError) as exc:
+        session.run(deadlock_monitor=1e-3)
+    text = str(exc.value)
+    assert "DEADLOCK among ranks [0, 1]" in text
+    assert "recv(source=1" in text and "recv(source=0" in text
+    # the healthy pair is not accused
+    assert "rank 2:" not in text and "rank 3:" not in text
+
+
+def test_analyze_pure_function_on_live_session():
+    """analyze() can be called at any pause point; on a healthy program
+    it reports nothing."""
+    from repro.apps.micro import AllreduceLoop
+
+    factory = lambda r: AllreduceLoop(r, iters=4, compute_s=1e-3)
+    session = ManaSession(4, factory, TESTBOX, CFG)
+    procs = session._wire(())
+    session.sched.run(until=2e-3)  # pause mid-run
+    report = analyze(session.rt)
+    assert not report.is_deadlock
+    session.sched.run()  # finish cleanly
+    assert [p.result for p in procs] == [AllreduceLoop.expected(4, 4)] * 4
+
+
+def test_any_source_or_dependency_not_reported():
+    factory = lambda r: AnySourceSaved(r)
+    session = ManaSession(3, factory, TESTBOX, CFG)
+    out = session.run(deadlock_monitor=5e-4)
+    assert out.results[0] == "relief"
+    assert session.deadlock_monitor.reports == []
+
+
+def test_detects_barrier_before_bcast_deadlock_with_mpi_detail():
+    """The Section III-E deadlock, diagnosed at the MPI level: the
+    detector names the rank inside the collective and the rank stuck in
+    the receive, rather than the kernel's generic park report."""
+    factory = lambda r: BcastThenSend(r)
+    session = ManaSession(2, factory, TESTBOX, ManaConfig.master())
+    with pytest.raises(DeadlockError) as exc:
+        session.run(deadlock_monitor=1e-3)
+    text = str(exc.value)
+    assert "DEADLOCK among ranks [0, 1]" in text
+    assert "inside collective" in text      # rank 0, in the pre-Bcast barrier
+    assert "recv(source=0" in text          # rank 1, waiting for the Send

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public API surface; they must keep working.
+Each is executed in-process (runpy) with a trimmed argv where the script
+supports one.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name] + list(argv)
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "pi = 3.141593" in out
+    assert "identical: True" in out
+
+
+def test_gromacs_scaling(capsys):
+    run_example("gromacs_scaling.py", ["--max-nodes", "2", "--steps", "3"])
+    out = capsys.readouterr().out
+    assert "HASWELL" in out and "KNL" in out
+    assert "ratio" in out
+
+
+def test_vasp_checkpoint_restart(capsys):
+    run_example(
+        "vasp_checkpoint_restart.py",
+        ["--workload", "WOSiH", "--ranks", "8", "--iterations", "2",
+         "--machine", "testbox"],
+    )
+    out = capsys.readouterr().out
+    assert "results identical to baseline: True" in out
+
+
+def test_deadlock_demo(capsys):
+    run_example("deadlock_demo.py")
+    out = capsys.readouterr().out
+    assert out.count("DEADLOCK") == 2     # original + master
+    assert out.count("OK") == 3           # native, hybrid, pt2pt
+
+
+def test_job_chaining(capsys):
+    run_example("job_chaining.py")
+    out = capsys.readouterr().out
+    assert "identical to the uninterrupted run: True" in out
+
+
+@pytest.mark.slow
+def test_failure_recovery(capsys):
+    run_example("failure_recovery.py")
+    out = capsys.readouterr().out
+    assert "results identical to the uninterrupted run: True" in out

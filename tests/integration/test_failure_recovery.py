@@ -1,0 +1,45 @@
+"""Integration: the periodic-checkpoint + failure + recovery flow."""
+
+from repro.apps.micro import TokenRing
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan, resume_from_checkpoint
+
+CFG = ManaConfig.feature_2pc().but(record_replay=True)
+
+
+def test_recover_from_last_periodic_checkpoint(tmp_path):
+    factory = lambda r: TokenRing(r, laps=12, compute_s=2e-3)
+    reference = ManaSession(3, factory, TESTBOX, CFG).run()
+
+    victim = ManaSession(3, factory, TESTBOX, CFG)
+    victim.run(
+        checkpoints=[
+            CheckpointPlan(at=reference.elapsed * 0.25, action="resume"),
+            CheckpointPlan(at=reference.elapsed * 0.55, action="resume"),
+        ],
+        until=reference.elapsed * 0.85,  # the failure
+    )
+    completed = [r for r in victim.coordinator.records if not r.get("skipped")]
+    assert len(completed) == 2
+    image = tmp_path / "periodic.ckpt"
+    victim.save_checkpoint(image)
+
+    recovered = resume_from_checkpoint(image, factory, TESTBOX, CFG).run()
+    assert recovered.results == reference.results
+
+
+def test_failure_before_any_checkpoint_has_no_image(tmp_path):
+    import pytest
+    from repro.errors import CheckpointError
+
+    factory = lambda r: TokenRing(r, laps=12, compute_s=2e-3)
+    reference = ManaSession(3, factory, TESTBOX, CFG).run()
+    victim = ManaSession(3, factory, TESTBOX, CFG)
+    victim.run(
+        checkpoints=[CheckpointPlan(at=reference.elapsed * 0.9,
+                                    action="resume")],
+        until=reference.elapsed * 0.3,  # failure before the checkpoint
+    )
+    with pytest.raises(CheckpointError, match="no checkpoint image"):
+        victim.save_checkpoint(tmp_path / "none.ckpt")

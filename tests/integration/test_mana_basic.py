@@ -1,0 +1,121 @@
+"""Integration: applications under MANA produce native-identical results,
+with and without checkpoints."""
+
+import pytest
+
+from repro.apps.micro import AllreduceLoop, IcollStream, TokenRing
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan, run_app_native
+
+CONFIGS = {
+    "master": ManaConfig.master(),
+    "feature/2pc": ManaConfig.feature_2pc(),
+}
+
+
+def run_mana(nranks, factory, cfg, plans=()):
+    session = ManaSession(nranks, factory, machine=TESTBOX, cfg=cfg)
+    return session.run(checkpoints=plans)
+
+
+class TestNoCheckpoint:
+    @pytest.mark.parametrize("cfg_name", list(CONFIGS))
+    def test_token_ring_matches_native(self, cfg_name):
+        factory = lambda r: TokenRing(r, laps=3)
+        native = run_app_native(4, factory, TESTBOX)
+        mana = run_mana(4, factory, CONFIGS[cfg_name])
+        assert mana.results == native.results
+        assert mana.results[2] == TokenRing.expected(2, 4, 3)
+        # MANA costs something
+        assert mana.elapsed > native.elapsed
+
+    @pytest.mark.parametrize("cfg_name", list(CONFIGS))
+    def test_allreduce_loop(self, cfg_name):
+        factory = lambda r: AllreduceLoop(r, iters=4)
+        mana = run_mana(5, factory, CONFIGS[cfg_name])
+        assert mana.results == [AllreduceLoop.expected(5, 4)] * 5
+
+    def test_icoll_stream(self):
+        factory = lambda r: IcollStream(r, waves=3, inflight=2)
+        mana = run_mana(4, factory, ManaConfig.feature_2pc())
+        assert mana.results == [IcollStream.expected(4, 3, 2)] * 4
+
+    def test_master_slower_than_2pc_on_collectives(self):
+        factory = lambda r: AllreduceLoop(r, iters=10, compute_s=1e-5)
+        master = run_mana(8, factory, ManaConfig.master())
+        two_pc = run_mana(8, factory, ManaConfig.feature_2pc())
+        assert master.elapsed > two_pc.elapsed
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("cfg_name", list(CONFIGS))
+    def test_token_ring_with_mid_run_checkpoint(self, cfg_name):
+        factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
+        baseline = run_mana(4, factory, CONFIGS[cfg_name])
+        plans = [CheckpointPlan(at=baseline.elapsed * 0.4, action="resume")]
+        ck = run_mana(4, factory, CONFIGS[cfg_name], plans)
+        assert ck.results == baseline.results
+        assert len(ck.checkpoints) == 1
+        rec = ck.checkpoints[0]
+        assert rec["checkpoint_time"] > 0
+        assert rec["image_bytes_total"] > 0
+
+    @pytest.mark.parametrize("cfg_name", list(CONFIGS))
+    def test_allreduce_with_checkpoint(self, cfg_name):
+        factory = lambda r: AllreduceLoop(r, iters=8, compute_s=1e-3)
+        baseline = run_mana(4, factory, CONFIGS[cfg_name])
+        plans = [CheckpointPlan(at=baseline.elapsed * 0.5, action="resume")]
+        ck = run_mana(4, factory, CONFIGS[cfg_name], plans)
+        assert ck.results == [AllreduceLoop.expected(4, 8)] * 4
+
+    def test_two_checkpoints(self):
+        factory = lambda r: AllreduceLoop(r, iters=10, compute_s=1e-3)
+        baseline = run_mana(3, factory, ManaConfig.feature_2pc())
+        plans = [
+            CheckpointPlan(at=baseline.elapsed * 0.3),
+            CheckpointPlan(at=baseline.elapsed * 0.7),
+        ]
+        ck = run_mana(3, factory, ManaConfig.feature_2pc(), plans)
+        assert ck.results == baseline.results
+        assert len(ck.checkpoints) == 2
+
+
+class TestCheckpointRestart:
+    @pytest.mark.parametrize("cfg_name", list(CONFIGS))
+    def test_token_ring_restart(self, cfg_name):
+        factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
+        baseline = run_mana(4, factory, CONFIGS[cfg_name])
+        plans = [CheckpointPlan(at=baseline.elapsed * 0.4, action="restart")]
+        ck = run_mana(4, factory, CONFIGS[cfg_name], plans)
+        assert ck.results == baseline.results
+        assert len(ck.restarts) == 1
+        assert ck.restarts[0]["incarnation"] == 1
+
+    @pytest.mark.parametrize("cfg_name", list(CONFIGS))
+    def test_allreduce_restart(self, cfg_name):
+        factory = lambda r: AllreduceLoop(r, iters=8, compute_s=1e-3)
+        baseline = run_mana(4, factory, CONFIGS[cfg_name])
+        plans = [CheckpointPlan(at=baseline.elapsed * 0.5, action="restart")]
+        ck = run_mana(4, factory, CONFIGS[cfg_name], plans)
+        assert ck.results == [AllreduceLoop.expected(4, 8)] * 4
+
+    def test_icoll_stream_restart_replays_log(self):
+        factory = lambda r: IcollStream(r, waves=4, inflight=3, compute_s=1e-3)
+        baseline = run_mana(4, factory, ManaConfig.feature_2pc())
+        plans = [CheckpointPlan(at=baseline.elapsed * 0.5, action="restart")]
+        ck = run_mana(4, factory, ManaConfig.feature_2pc(), plans)
+        assert ck.results == [IcollStream.expected(4, 4, 3)] * 4
+        per_rank = ck.restarts[0]["per_rank"]
+        assert all(v["icolls_replayed"] > 0 for v in per_rank.values())
+
+    def test_repeated_restarts(self):
+        factory = lambda r: TokenRing(r, laps=10, compute_s=1e-3)
+        baseline = run_mana(3, factory, ManaConfig.feature_2pc())
+        plans = [
+            CheckpointPlan(at=baseline.elapsed * f, action="restart")
+            for f in (0.2, 0.5, 0.8)
+        ]
+        ck = run_mana(3, factory, ManaConfig.feature_2pc(), plans)
+        assert ck.results == baseline.results
+        assert ck.restarts[-1]["incarnation"] == 3

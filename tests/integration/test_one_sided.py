@@ -1,0 +1,79 @@
+"""Integration: one-sided communication — native support, MANA refusal."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import MpiProgram
+from repro.apps.dft_proxy import DftConfig, DftProxy
+from repro.apps.workloads import workload
+from repro.errors import MpiError, UnsupportedMpiFeature
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import run_app_native
+
+
+class RmaRing(MpiProgram):
+    """Each rank puts into its right neighbor's window; fence epochs."""
+
+    def main(self, api):
+        p, me = api.size, api.rank
+        win = yield from api.win_create(8)
+        yield from api.win_fence(win)                       # open epoch
+        yield from api.win_put(win, (me + 1) % p, 0, np.full(4, float(me)))
+        # gets during the epoch see the pre-epoch (zero) contents
+        before = yield from api.win_get(win, me, 0, 4)
+        yield from api.win_fence(win)                       # close: apply
+        yield from api.win_fence(win)                       # open again
+        after = yield from api.win_get(win, me, 0, 4)
+        yield from api.win_fence(win)
+        yield from api.win_free(win)
+        return float(before[0]), float(after[0])
+
+
+class RmaAccumulate(MpiProgram):
+    def main(self, api):
+        win = yield from api.win_create(4)
+        yield from api.win_fence(win)
+        yield from api.win_accumulate(win, 0, 0, np.ones(4))
+        yield from api.win_fence(win)
+        yield from api.win_fence(win)
+        value = yield from api.win_get(win, 0, 0, 4)
+        yield from api.win_fence(win)
+        return float(value[0])
+
+
+class RmaOutsideEpoch(MpiProgram):
+    def main(self, api):
+        win = yield from api.win_create(4)
+        yield from api.win_put(win, 0, 0, np.ones(2))  # no epoch open
+        return None
+
+
+def test_native_put_fence_get():
+    out = run_app_native(4, lambda r: RmaRing(r), TESTBOX)
+    for me, (before, after) in enumerate(out.results):
+        assert before == 0.0                      # epoch-opening snapshot
+        assert after == float((me - 1) % 4)       # left neighbor's put
+
+
+def test_native_accumulate_sums_all_ranks():
+    out = run_app_native(4, lambda r: RmaAccumulate(r), TESTBOX)
+    assert all(v == 4.0 for v in out.results)     # each rank added 1
+
+
+def test_rma_outside_epoch_rejected():
+    with pytest.raises(MpiError, match="epoch"):
+        run_app_native(2, lambda r: RmaOutsideEpoch(r), TESTBOX)
+
+
+def test_vasp6_with_win_works_natively_fails_under_mana():
+    """The Table I constraint, end to end: the same VASP 6 build with
+    MPI_Win enabled runs natively but cannot run under MANA."""
+    cfg = DftConfig(nranks=4, workload=workload("CaPOH"), iterations=2,
+                    vasp6=True, use_mpi_win=True)
+    factory = lambda r: DftProxy(r, cfg, TESTBOX)
+    native = run_app_native(4, factory, TESTBOX)
+    assert len(native.results) == 4
+    assert native.lib_calls.get("win_put", 0) > 0
+    with pytest.raises(UnsupportedMpiFeature, match="MPI_Win"):
+        ManaSession(4, factory, TESTBOX, ManaConfig.feature_2pc()).run()

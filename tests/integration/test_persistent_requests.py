@@ -1,0 +1,184 @@
+"""Integration: persistent point-to-point requests (MPI_Send_init /
+MPI_Recv_init / MPI_Start) — native, under MANA, and across restarts.
+
+Persistent requests are an interesting MANA case: unlike ordinary
+requests they are *exempt* from the Section III-A retirement machinery
+until MPI_Request_free (completion does not invalidate the handle), and
+the lower-half object must be recreated from MANA's record at restart —
+with an active receive cycle re-posted and an active (eager-completed)
+send cycle staged.
+"""
+
+import pytest
+
+from repro.apps.base import MpiProgram
+from repro.errors import MpiError
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan, run_app_native
+
+CFG = ManaConfig.feature_2pc()
+
+
+class PersistentPingPong(MpiProgram):
+    """The canonical persistent-request loop: init once, start many."""
+
+    def __init__(self, rank, rounds=6):
+        super().__init__(rank)
+        self.rounds = rounds
+
+    def main(self, api):
+        peer = 1 - api.rank
+        send_slot = yield from api.send_init(None, dest=peer, tag=7)
+        recv_slot = yield from api.recv_init(source=peer, tag=7)
+        got = []
+        for rnd in range(self.rounds):
+            yield from api.compute(1e-3)
+            yield from api.start(send_slot, data=(api.rank, rnd))
+            yield from api.start(recv_slot)
+            payload, _st = yield from api.wait(send_slot)
+            data, st = yield from api.wait(recv_slot)
+            assert not send_slot.is_null and not recv_slot.is_null
+            got.append(data)
+        yield from api.request_free(send_slot)
+        yield from api.request_free(recv_slot)
+        assert send_slot.is_null and recv_slot.is_null
+        return got
+
+
+class StartedRecvAtCheckpoint(MpiProgram):
+    """A persistent receive whose cycle straddles the checkpoint."""
+
+    def main(self, api):
+        if api.rank == 0:
+            yield from api.compute(0.03)      # checkpoint window
+            yield from api.send("late", 1, tag=2)
+            yield from api.barrier()
+            return None
+        slot = yield from api.recv_init(source=0, tag=2)
+        yield from api.start(slot)            # active across the checkpoint
+        yield from api.compute(0.03)
+        data, _st = yield from api.wait(slot)
+        yield from api.barrier()
+        yield from api.request_free(slot)
+        return data
+
+
+class DrainedRecvAtCheckpoint(MpiProgram):
+    """The message arrives before the checkpoint but the started cycle
+    is only consumed afterwards — the drain must stage it."""
+
+    def main(self, api):
+        if api.rank == 0:
+            yield from api.send("early", 1, tag=3)
+            yield from api.barrier()
+            yield from api.compute(0.03)      # checkpoint window
+            yield from api.barrier()
+            return None
+        slot = yield from api.recv_init(source=0, tag=3)
+        yield from api.start(slot)
+        yield from api.barrier()              # message has arrived
+        yield from api.compute(0.03)          # checkpoint window
+        yield from api.barrier()
+        data, st = yield from api.wait(slot)
+        # second cycle after the restart, on the recreated lower half
+        yield from api.start(slot)
+        data2 = None
+        flag = False
+        while not flag:
+            flag, data2, _ = yield from api.test(slot)
+            if not flag:
+                yield from api.compute(1e-4)
+        yield from api.request_free(slot)
+        return data, st.count, data2
+
+
+class SecondSender(MpiProgram):
+    """Companion for DrainedRecvAtCheckpoint's second cycle."""
+
+
+def test_persistent_ping_pong_native_and_mana():
+    factory = lambda r: PersistentPingPong(r)
+    native = run_app_native(2, factory, TESTBOX)
+    mana = ManaSession(2, factory, TESTBOX, CFG).run()
+    assert native.results == mana.results
+    assert native.results[0] == [(1, rnd) for rnd in range(6)]
+
+
+@pytest.mark.parametrize("action", ["resume", "restart"])
+def test_active_recv_cycle_across_checkpoint(action):
+    factory = lambda r: StartedRecvAtCheckpoint(r)
+    base = ManaSession(2, factory, TESTBOX, CFG).run()
+    out = ManaSession(2, factory, TESTBOX, CFG).run(
+        checkpoints=[CheckpointPlan(at=0.01, action=action)]
+    )
+    assert out.results == base.results
+    assert out.results[1] == "late"
+
+
+@pytest.mark.parametrize("action", ["resume", "restart"])
+@pytest.mark.parametrize("get_status", [False, True])
+def test_drained_persistent_cycle_staged(action, get_status):
+    cfg = CFG.but(request_get_status=get_status)
+
+    class WithSecondMessage(DrainedRecvAtCheckpoint):
+        def main(self, api):
+            if api.rank == 0:
+                yield from api.send("early", 1, tag=3)
+                yield from api.barrier()
+                yield from api.compute(0.03)
+                yield from api.barrier()
+                yield from api.send("second", 1, tag=3)
+                return None
+            result = yield from super().main(api)
+            return result
+
+    factory = lambda r: WithSecondMessage(r)
+    base = ManaSession(2, factory, TESTBOX, cfg).run()
+    out = ManaSession(2, factory, TESTBOX, cfg).run(
+        checkpoints=[CheckpointPlan(at=0.01, action=action)]
+    )
+    assert out.results == base.results
+    data, count, data2 = out.results[1]
+    assert data == "early" and count == len("early")
+    assert data2 == "second"
+
+
+def test_persistent_restart_telemetry():
+    factory = lambda r: PersistentPingPong(r, rounds=8)
+    base = ManaSession(2, factory, TESTBOX, CFG).run()
+    session = ManaSession(2, factory, TESTBOX, CFG)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="restart")]
+    )
+    assert out.results == base.results
+    per_rank = out.restarts[0]["per_rank"]
+    assert all(v["persistent_recreated"] == 2 for v in per_rank.values())
+
+
+def test_reexec_with_persistent_requests(tmp_path):
+    from repro.mana.session import HALTED, resume_from_checkpoint
+
+    cfg = CFG.but(record_replay=True)
+    factory = lambda r: PersistentPingPong(r, rounds=8)
+    base = ManaSession(2, factory, TESTBOX, cfg).run()
+    halted = ManaSession(2, factory, TESTBOX, cfg)
+    out = halted.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="halt")]
+    )
+    assert out.results == [HALTED] * 2
+    path = tmp_path / "p.img"
+    halted.save_checkpoint(path)
+    resumed = resume_from_checkpoint(path, factory, TESTBOX, cfg).run()
+    assert resumed.results == base.results
+
+
+def test_start_on_active_request_rejected():
+    class DoubleStart(MpiProgram):
+        def main(self, api):
+            slot = yield from api.recv_init(source=0, tag=1)
+            yield from api.start(slot)
+            yield from api.start(slot)  # illegal: still active
+
+    with pytest.raises(MpiError, match="already-active"):
+        run_app_native(1, lambda r: DoubleStart(r), TESTBOX)

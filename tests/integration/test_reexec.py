@@ -1,0 +1,122 @@
+"""Integration: REEXEC — full restart from an on-disk image in a fresh
+simulator 'process' via deterministic re-execution."""
+
+import pytest
+
+from repro.apps.micro import (
+    AllreduceLoop,
+    CommChurn,
+    IcollStream,
+    RandomPt2Pt,
+    TokenRing,
+)
+from repro.errors import RestartError
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.config import CollectiveMode, CommReconstruction
+from repro.mana.session import (
+    HALTED,
+    CheckpointPlan,
+    resume_from_checkpoint,
+)
+
+CFG = ManaConfig.feature_2pc().but(record_replay=True)
+
+
+def halt_and_resume(tmp_path, nranks, factory, frac, cfg=CFG):
+    """Run, halt at frac of the runtime, save, resume in a new session."""
+    baseline = ManaSession(nranks, factory, TESTBOX, cfg).run()
+    halted = ManaSession(nranks, factory, TESTBOX, cfg)
+    out = halted.run(
+        checkpoints=[CheckpointPlan(at=baseline.elapsed * frac, action="halt")]
+    )
+    assert out.results == [HALTED] * nranks
+    path = tmp_path / "ckpt.img"
+    nbytes = halted.save_checkpoint(path)
+    assert nbytes > 0
+    resumed = resume_from_checkpoint(path, factory, TESTBOX, cfg).run()
+    return baseline, resumed
+
+
+class TestReexec:
+    def test_token_ring(self, tmp_path):
+        factory = lambda r: TokenRing(r, laps=8, compute_s=1e-3)
+        base, resumed = halt_and_resume(tmp_path, 4, factory, 0.5)
+        assert resumed.results == base.results
+
+    def test_allreduce_loop(self, tmp_path):
+        factory = lambda r: AllreduceLoop(r, iters=8, compute_s=1e-3)
+        base, resumed = halt_and_resume(tmp_path, 4, factory, 0.45)
+        assert resumed.results == [AllreduceLoop.expected(4, 8)] * 4
+
+    @pytest.mark.parametrize("frac", [0.15, 0.5, 0.8])
+    def test_random_pt2pt_various_cuts(self, tmp_path, frac):
+        factory = lambda r: RandomPt2Pt(r, 5, rounds=8, seed=3,
+                                        compute_s=1e-4)
+        base, resumed = halt_and_resume(tmp_path, 5, factory, frac)
+        assert resumed.results == base.results
+
+    def test_icoll_stream_replays(self, tmp_path):
+        factory = lambda r: IcollStream(r, waves=5, inflight=3, compute_s=1e-3)
+        base, resumed = halt_and_resume(tmp_path, 4, factory, 0.5)
+        assert resumed.results == [IcollStream.expected(4, 5, 3)] * 4
+
+    @pytest.mark.parametrize(
+        "mode", [CommReconstruction.ACTIVE_LIST, CommReconstruction.REPLAY_LOG]
+    )
+    def test_comm_churn(self, tmp_path, mode):
+        factory = lambda r: CommChurn(r, generations=4, compute_s=1e-3)
+        cfg = CFG.but(comm_reconstruction=mode)
+        base, resumed = halt_and_resume(tmp_path, 4, factory, 0.6, cfg)
+        assert resumed.results == base.results
+
+    def test_second_checkpoint_after_resume(self, tmp_path):
+        """The resumed session keeps recording; it can checkpoint again."""
+        factory = lambda r: TokenRing(r, laps=10, compute_s=1e-3)
+        baseline = ManaSession(4, factory, TESTBOX, CFG).run()
+        halted = ManaSession(4, factory, TESTBOX, CFG)
+        halted.run(checkpoints=[
+            CheckpointPlan(at=baseline.elapsed * 0.3, action="halt")
+        ])
+        path = tmp_path / "c1.img"
+        halted.save_checkpoint(path)
+        resumed_session = resume_from_checkpoint(path, factory, TESTBOX, CFG)
+        out = resumed_session.run(
+            checkpoints=[CheckpointPlan(at=baseline.elapsed * 0.4,
+                                        action="restart")]
+        )
+        assert out.results == baseline.results
+
+    def test_pt2pt_always_mode_rejected(self):
+        cfg = CFG.but(collective_mode=CollectiveMode.PT2PT_ALWAYS)
+        factory = lambda r: TokenRing(r, laps=2)
+        with pytest.raises(RestartError, match="PT2PT_ALWAYS"):
+            ManaSession(2, factory, TESTBOX, cfg).run()
+
+    def test_resume_requires_replay_log(self, tmp_path):
+        """An image from a non-recording run cannot be REEXEC-resumed."""
+        plain = ManaConfig.feature_2pc()
+        factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
+        baseline = ManaSession(4, factory, TESTBOX, plain).run()
+        halted = ManaSession(4, factory, TESTBOX, plain)
+        halted.run(checkpoints=[
+            CheckpointPlan(at=baseline.elapsed * 0.5, action="halt")
+        ])
+        path = tmp_path / "plain.img"
+        halted.save_checkpoint(path)
+        with pytest.raises(ValueError, match="replay log"):
+            resume_from_checkpoint(path, factory, TESTBOX, plain)
+
+    def test_machine_mismatch_rejected(self, tmp_path):
+        from repro.hosts import CORI_HASWELL
+
+        factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
+        baseline = ManaSession(4, factory, TESTBOX, CFG).run()
+        halted = ManaSession(4, factory, TESTBOX, CFG)
+        halted.run(checkpoints=[
+            CheckpointPlan(at=baseline.elapsed * 0.5, action="halt")
+        ])
+        path = tmp_path / "t.img"
+        halted.save_checkpoint(path)
+        with pytest.raises(ValueError, match="image was taken on"):
+            resume_from_checkpoint(path, factory, CORI_HASWELL, CFG)

@@ -1,0 +1,116 @@
+"""Integration: the Section III-A reviewer alternative — non-destructive
+MPI_Request_get_status interrogation instead of two-step retirement."""
+
+import pytest
+
+from repro.apps.micro import RandomPt2Pt, TokenRing
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+from repro.apps.base import MpiProgram
+
+CFG_GS = ManaConfig.feature_2pc().but(request_get_status=True)
+CFG_2STEP = ManaConfig.feature_2pc()
+
+
+class PendingIrecvAtCheckpoint(MpiProgram):
+    """Rank 1 posts an irecv whose message arrives before the checkpoint
+    but is only waited on afterwards — the exact case where classic MANA
+    internally completes the request (step one of two-step retirement)
+    and the get_status variant leaves it live in the lower half."""
+
+    def main(self, api):
+        if api.rank == 0:
+            yield from api.send("payload", 1, tag=4)
+            yield from api.barrier()
+            yield from api.compute(0.02)  # the checkpoint window
+            yield from api.barrier()
+            return None
+        slot = yield from api.irecv(source=0, tag=4)
+        yield from api.barrier()          # message arrives, request done
+        yield from api.compute(0.02)      # the checkpoint window
+        yield from api.barrier()          # both ranks check in here; the
+        #                                   request is still unconsumed
+        payload, st = yield from api.wait(slot)
+        return payload, st.count
+
+
+@pytest.mark.parametrize("action", ["resume", "restart"])
+def test_get_status_mode_preserves_results(action):
+    factory = lambda r: PendingIrecvAtCheckpoint(r)
+    base = ManaSession(2, factory, TESTBOX, CFG_GS).run()
+    session = ManaSession(2, factory, TESTBOX, CFG_GS)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=0.01, action=action)]
+    )
+    assert out.results == base.results
+    assert out.results[1] == ("payload", len("payload"))
+
+
+def test_get_status_interrogates_non_destructively():
+    """With get_status, the drain uses the non-destructive query (the
+    request stays live through the drain; it is only materialized into
+    upper-half storage when the image is built); the classic algorithm
+    consumes it with MPI_Test during the drain itself."""
+    factory = lambda r: PendingIrecvAtCheckpoint(r)
+
+    gs = ManaSession(2, factory, TESTBOX, CFG_GS)
+    out_gs = gs.run(checkpoints=[CheckpointPlan(at=0.01, action="resume")])
+    assert out_gs.lib_calls.get("request_get_status", 0) >= 1
+
+    classic = ManaSession(2, factory, TESTBOX, CFG_2STEP)
+    out_classic = classic.run(
+        checkpoints=[CheckpointPlan(at=0.01, action="resume")]
+    )
+    assert out_classic.lib_calls.get("request_get_status", 0) == 0
+    # classic mode internally completed the pending receive at the drain
+    assert classic.rt.ranks[1].vreqs.internal_completions >= 1
+
+
+def test_get_status_materializes_at_restart():
+    """On restart the lower half dies, so even the get_status variant
+    must capture completed receives at snapshot time — and must not
+    double-count their bytes."""
+    factory = lambda r: PendingIrecvAtCheckpoint(r)
+    session = ManaSession(2, factory, TESTBOX, CFG_GS)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=0.01, action="restart")]
+    )
+    assert out.results[1] == ("payload", len("payload"))
+    # byte accounting balanced at the end
+    m0, m1 = session.rt.ranks
+    assert (
+        m0.counters.total_sent()[0] + m1.counters.total_sent()[0]
+        == m0.counters.total_received()[0]
+        + m1.counters.total_received()[0]
+        + m0.drain_buffer.nbytes()
+        + m1.drain_buffer.nbytes()
+    )
+
+
+@pytest.mark.parametrize("frac", [0.2, 0.5, 0.8])
+def test_get_status_random_traffic(frac):
+    nranks = 5
+    factory = lambda r: RandomPt2Pt(r, nranks, rounds=8, seed=21)
+    base = ManaSession(nranks, factory, TESTBOX, CFG_GS).run()
+    out = ManaSession(nranks, factory, TESTBOX, CFG_GS).run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * frac, action="restart")]
+    )
+    assert out.results == base.results
+
+
+def test_get_status_with_reexec(tmp_path):
+    from repro.mana.session import HALTED, resume_from_checkpoint
+
+    cfg = CFG_GS.but(record_replay=True)
+    factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
+    base = ManaSession(3, factory, TESTBOX, cfg).run()
+    halted = ManaSession(3, factory, TESTBOX, cfg)
+    out = halted.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="halt")]
+    )
+    assert out.results == [HALTED] * 3
+    path = tmp_path / "gs.img"
+    halted.save_checkpoint(path)
+    resumed = resume_from_checkpoint(path, factory, TESTBOX, cfg).run()
+    assert resumed.results == base.results

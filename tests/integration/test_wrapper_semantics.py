@@ -1,0 +1,171 @@
+"""Integration: wrapper-level semantics the paper calls out.
+
+- MPI_Alloc_mem -> upper-half malloc: contents survive a restart
+  (Section III item 1's POSIX-conversion example);
+- PROC_NULL point-to-point through the wrappers;
+- overhead accounting: lower-half call counts and modeled overhead time;
+- tag validation at the wrapper boundary;
+- request-slot semantics (MPI_REQUEST_NULL behaviour).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import MpiProgram
+from repro.errors import MpiError
+from repro.hosts import CORI_HASWELL, TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan, run_app_native
+from repro.simmpi.constants import PROC_NULL, REQUEST_NULL
+
+CFG = ManaConfig.feature_2pc()
+
+
+class AllocMemUser(MpiProgram):
+    """Writes into MPI_Alloc_mem memory before a restart, reads after."""
+
+    def main(self, api):
+        mem = yield from api.alloc_mem(4096)
+        mem.data[0:5] = b"hello"
+        yield from api.barrier()
+        yield from api.compute(0.02)  # the checkpoint window
+        yield from api.barrier()
+        value = bytes(mem.data[0:5])
+        yield from api.free_mem(mem)
+        return value
+
+
+def test_alloc_mem_survives_restart_under_mana():
+    """MANA converts MPI_Alloc_mem to an upper-half malloc, so the
+    contents survive the lower-half teardown — unlike a real lower-half
+    allocation, which dies with the library."""
+    factory = lambda r: AllocMemUser(r)
+    out = ManaSession(2, factory, TESTBOX, CFG).run(
+        checkpoints=[CheckpointPlan(at=0.01, action="restart")]
+    )
+    assert out.results == [b"hello", b"hello"]
+    assert len(out.restarts) == 1
+
+
+class ProcNullUser(MpiProgram):
+    def main(self, api):
+        yield from api.send("ignored", PROC_NULL, tag=1)
+        data, st = yield from api.recv(source=PROC_NULL, tag=1)
+        slot = yield from api.isend("x", PROC_NULL, tag=2)
+        flag, _p, _s = yield from api.test(slot)
+        return data, st.count, flag
+
+
+def test_proc_null_through_wrappers():
+    native = run_app_native(1, lambda r: ProcNullUser(r), TESTBOX)
+    mana = ManaSession(1, lambda r: ProcNullUser(r), TESTBOX, CFG).run()
+    assert native.results == mana.results == [(None, 0, True)]
+
+
+class TagAbuser(MpiProgram):
+    def main(self, api):
+        yield from api.send("x", 0, tag=1 << 31)  # beyond MPI_TAG_UB
+        return None
+
+
+def test_tag_validation_at_wrapper_boundary():
+    with pytest.raises(MpiError, match="MPI_TAG_UB"):
+        ManaSession(1, lambda r: TagAbuser(r), TESTBOX, CFG).run()
+    with pytest.raises(MpiError, match="MPI_TAG_UB"):
+        run_app_native(1, lambda r: TagAbuser(r), TESTBOX)
+
+
+class NullSlotUser(MpiProgram):
+    def main(self, api):
+        from repro.mana.handles import RequestSlot
+
+        null_slot = RequestSlot()
+        flag, payload, st = yield from api.test(null_slot)
+        payload2, st2 = yield from api.wait(null_slot)
+        return flag, payload, payload2
+
+
+def test_null_request_semantics():
+    """Test/Wait on MPI_REQUEST_NULL succeed immediately (MPI-3.1)."""
+    out = ManaSession(1, lambda r: NullSlotUser(r), TESTBOX, CFG).run()
+    assert out.results == [(True, None, None)]
+
+
+class CountedApp(MpiProgram):
+    def main(self, api):
+        for i in range(5):
+            yield from api.compute(1e-4)
+            if api.rank == 0:
+                yield from api.send(i, 1, tag=0)
+            elif api.rank == 1:
+                yield from api.recv(0, 0)
+            yield from api.allreduce(1)
+        return None
+
+
+def test_overhead_accounting():
+    session = ManaSession(2, lambda r: CountedApp(r), CORI_HASWELL,
+                          ManaConfig.master())
+    out = session.run()
+    for stats in out.rank_stats:
+        assert stats.lower_half_calls > 0
+        assert stats.overhead_time > 0
+        assert stats.collective_calls >= 5
+    sender = out.rank_stats[0]
+    assert sender.wrapper_calls["send"] == 5
+    assert sender.wrapper_calls["allreduce"] == 5
+    # MANA's modeled overhead is part of the virtual elapsed time
+    native = run_app_native(2, lambda r: CountedApp(r), CORI_HASWELL)
+    assert out.elapsed > native.elapsed
+
+
+def test_overhead_time_larger_on_knl():
+    """The calibration mechanism: wrapper bookkeeping runs on the host
+    core, so identical call counts cost more virtual time on KNL."""
+    from repro.hosts import CORI_KNL
+
+    h = ManaSession(2, lambda r: CountedApp(r), CORI_HASWELL,
+                    ManaConfig.master())
+    h.run()
+    k = ManaSession(2, lambda r: CountedApp(r), CORI_KNL,
+                    ManaConfig.master())
+    k.run()
+    assert (k.rt.ranks[0].stats.overhead_time
+            > h.rt.ranks[0].stats.overhead_time)
+
+
+class WildcardOrdering(MpiProgram):
+    """ANY_SOURCE receives must preserve per-sender FIFO order."""
+
+    def main(self, api):
+        from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
+
+        if api.rank != 0:
+            for i in range(6):
+                yield from api.send((api.rank, i), 0, tag=api.rank)
+            return None
+        seen = {}
+        for _ in range(6 * (api.size - 1)):
+            (src, i), _st = yield from api.recv(ANY_SOURCE, ANY_TAG)
+            assert seen.get(src, -1) < i  # strictly increasing per sender
+            seen[src] = i
+        return dict(seen)
+
+
+@pytest.mark.parametrize("runner", ["native", "mana"])
+def test_wildcard_fifo_per_sender(runner):
+    factory = lambda r: WildcardOrdering(r)
+    if runner == "native":
+        out = run_app_native(4, factory, TESTBOX)
+    else:
+        out = ManaSession(4, factory, TESTBOX, CFG).run()
+    assert out.results[0] == {1: 5, 2: 5, 3: 5}
+
+
+def test_wildcard_fifo_across_restart():
+    factory = lambda r: WildcardOrdering(r)
+    base = ManaSession(4, factory, TESTBOX, CFG).run()
+    out = ManaSession(4, factory, TESTBOX, CFG).run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * 0.5, action="restart")]
+    )
+    assert out.results == base.results

@@ -1,0 +1,145 @@
+"""Property-based tests on whole-system invariants.
+
+These are the load-bearing guarantees of the reproduction:
+
+* determinism — a simulation is a pure function of its inputs;
+* the drain invariant — after any checkpoint, no application bytes
+  remain in the fabric or in lower-half queues;
+* transparency — for arbitrary (seeded) workloads and checkpoint
+  times, a checkpointed/restarted run produces exactly the results of
+  an undisturbed run.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps.micro import AllreduceLoop, IcollStream, RandomPt2Pt, TokenRing
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.config import CollectiveMode, DrainAlgorithm
+from repro.mana.session import CheckpointPlan, run_app_native
+
+SLOW = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**SLOW)
+@given(
+    nranks=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+    rounds=st.integers(min_value=2, max_value=8),
+)
+def test_property_simulation_is_deterministic(nranks, seed, rounds):
+    factory = lambda r: RandomPt2Pt(r, nranks, rounds=rounds, seed=seed)
+    a = run_app_native(nranks, factory, TESTBOX)
+    b = run_app_native(nranks, factory, TESTBOX)
+    assert a.results == b.results
+    assert a.elapsed == b.elapsed
+    assert a.network_messages == b.network_messages
+
+
+@settings(**SLOW)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+    frac=st.floats(min_value=0.05, max_value=0.85),
+    drain=st.sampled_from([DrainAlgorithm.ALLTOALL, DrainAlgorithm.COORDINATOR]),
+)
+def test_property_pt2pt_restart_transparency(nranks, seed, frac, drain):
+    """Checkpoint+restart at an arbitrary time never changes results."""
+    factory = lambda r: RandomPt2Pt(r, nranks, rounds=6, seed=seed)
+    cfg = ManaConfig.feature_2pc().but(drain=drain)
+    base = ManaSession(nranks, factory, TESTBOX, cfg).run()
+    session = ManaSession(nranks, factory, TESTBOX, cfg)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * frac, action="restart")]
+    )
+    assert out.results == base.results
+
+
+@settings(**SLOW)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    frac=st.floats(min_value=0.05, max_value=0.9),
+    mode=st.sampled_from(
+        [CollectiveMode.HYBRID, CollectiveMode.PT2PT_ALWAYS,
+         CollectiveMode.BARRIER_ALWAYS]
+    ),
+)
+def test_property_collective_restart_transparency(nranks, frac, mode):
+    factory = lambda r: AllreduceLoop(r, iters=6, compute_s=1e-4)
+    cfg = ManaConfig.feature_2pc().but(collective_mode=mode)
+    base = ManaSession(nranks, factory, TESTBOX, cfg).run()
+    session = ManaSession(nranks, factory, TESTBOX, cfg)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * frac, action="restart")]
+    )
+    assert out.results == [AllreduceLoop.expected(nranks, 6)] * nranks
+    assert out.results == base.results
+
+
+@settings(**SLOW)
+@given(
+    frac=st.floats(min_value=0.05, max_value=0.8),
+    waves=st.integers(min_value=2, max_value=5),
+)
+def test_property_icoll_restart_transparency(frac, waves):
+    factory = lambda r: IcollStream(r, waves=waves, inflight=3, compute_s=1e-4)
+    cfg = ManaConfig.feature_2pc()
+    base = ManaSession(4, factory, TESTBOX, cfg).run()
+    session = ManaSession(4, factory, TESTBOX, cfg)
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * frac, action="restart")]
+    )
+    assert out.results == [IcollStream.expected(4, waves, 3)] * 4
+
+
+@settings(**SLOW)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+    frac=st.floats(min_value=0.05, max_value=0.85),
+)
+def test_property_drain_invariant(nranks, seed, frac):
+    """After the drain, zero application bytes in flight or unexpected."""
+    factory = lambda r: RandomPt2Pt(r, nranks, rounds=5, seed=seed)
+    cfg = ManaConfig.feature_2pc()
+    base = ManaSession(nranks, factory, TESTBOX, cfg).run()
+    session = ManaSession(nranks, factory, TESTBOX, cfg)
+    # the restart path *asserts* the invariant inside
+    # _teardown_and_replace_lower_half and raises RestartError otherwise
+    out = session.run(
+        checkpoints=[CheckpointPlan(at=base.elapsed * frac, action="restart")]
+    )
+    assert out.results == base.results
+    # counters balance globally at the end of the run
+    sent = sum(m.counters.total_sent()[0] for m in session.rt.ranks)
+    recvd = sum(
+        m.counters.total_received()[0] + m.drain_buffer.nbytes()
+        for m in session.rt.ranks
+    )
+    assert sent == recvd
+
+
+@settings(**SLOW)
+@given(
+    laps=st.integers(min_value=2, max_value=6),
+    fracs=st.lists(
+        st.floats(min_value=0.1, max_value=0.8), min_size=1, max_size=3,
+        unique=True,
+    ),
+)
+def test_property_multiple_checkpoints_compose(laps, fracs):
+    factory = lambda r: TokenRing(r, laps=laps, compute_s=5e-4)
+    cfg = ManaConfig.feature_2pc()
+    base = ManaSession(3, factory, TESTBOX, cfg).run()
+    plans = [
+        CheckpointPlan(at=base.elapsed * f, action="restart")
+        for f in sorted(fracs)
+    ]
+    session = ManaSession(3, factory, TESTBOX, cfg)
+    out = session.run(checkpoints=plans)
+    assert out.results == base.results

@@ -1,0 +1,130 @@
+"""Unit tests: workload-model internals (decomposition, scaling knobs,
+Table I parameterization)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dft_proxy import DftConfig, DftProxy, VaspWorkload
+from repro.apps.kernels import factor3, lj_force_step, scf_residual_step
+from repro.apps.md_proxy import AUCO_ATOMS, MdConfig, MdProxy
+from repro.apps.workloads import TABLE_I, workload
+from repro.hosts import CORI_HASWELL, CORI_KNL, TESTBOX
+
+
+class TestKernels:
+    @pytest.mark.parametrize("n", [1, 2, 6, 8, 12, 17, 32, 64, 2048])
+    def test_factor3_is_exact_factorization(self, n):
+        a, b, c = factor3(n)
+        assert a * b * c == n
+        assert a >= b >= c >= 1
+
+    def test_factor3_prefers_cubic(self):
+        assert sorted(factor3(64)) == [4, 4, 4]
+        assert sorted(factor3(8)) == [2, 2, 2]
+
+    def test_lj_step_conserves_particle_count_and_is_deterministic(self):
+        rng = np.random.default_rng(1)
+        p1 = rng.random((16, 3)) * 5.0
+        v1 = rng.normal(0, 0.1, (16, 3))
+        p2, v2 = p1.copy(), v1.copy()
+        e1 = lj_force_step(p1, v1, box=5.0)
+        e2 = lj_force_step(p2, v2, box=5.0)
+        assert e1 == e2
+        np.testing.assert_array_equal(p1, p2)
+        assert np.all(p1 >= 0) and np.all(p1 < 5.0)  # periodic wrap
+
+    def test_lj_empty_system(self):
+        assert lj_force_step(np.zeros((0, 3)), np.zeros((0, 3)), 5.0) == 0.0
+
+    def test_scf_step_contracts_toward_eigenvector(self):
+        rng = np.random.default_rng(2)
+        h = rng.normal(size=(12, 12))
+        h = h + h.T
+        c = rng.normal(size=(12, 4))
+        residuals = [scf_residual_step(c, h) for _ in range(30)]
+        assert residuals[-1] < residuals[0]
+
+
+class TestMdModel:
+    def test_atoms_per_rank_strong_scaling(self):
+        p32 = MdProxy(0, MdConfig(nranks=32), CORI_HASWELL)
+        p2048 = MdProxy(0, MdConfig(nranks=2048), CORI_HASWELL)
+        assert p32.atoms_per_rank == AUCO_ATOMS / 32
+        assert p2048.atoms_per_rank == AUCO_ATOMS / 2048
+        assert p32.step_compute_seconds() > p2048.step_compute_seconds() * 30
+
+    def test_halo_message_shrinks_slower_than_volume(self):
+        """Surface-to-volume: halving atoms/rank by 8 only halves the
+        face size by 4 — why communication dominates under scaling."""
+        small = MdProxy(0, MdConfig(nranks=32), CORI_HASWELL)
+        big = MdProxy(0, MdConfig(nranks=256), CORI_HASWELL)
+        volume_ratio = small.atoms_per_rank / big.atoms_per_rank
+        halo_ratio = small.halo_nbytes() / big.halo_nbytes()
+        assert halo_ratio < volume_ratio
+
+    def test_imbalance_grows_with_scale(self):
+        skews_small = [MdProxy(r, MdConfig(nranks=32), CORI_HASWELL).skew
+                       for r in range(32)]
+        skews_big = [MdProxy(r, MdConfig(nranks=2048), CORI_HASWELL).skew
+                     for r in range(0, 2048, 64)]
+        assert np.std(skews_big) > np.std(skews_small)
+
+    def test_knl_step_slower_than_haswell(self):
+        cfg = MdConfig(nranks=64)
+        h = MdProxy(0, cfg, CORI_HASWELL).step_compute_seconds()
+        k = MdProxy(0, cfg, CORI_KNL).step_compute_seconds()
+        assert 2.0 < k / h < 3.5  # the paper's ~2.8x native gap
+
+
+class TestVaspModel:
+    def test_table1_has_nine_distinct_cases(self):
+        assert len(TABLE_I) == 9
+        assert len({w.name for w in TABLE_I}) == 9
+
+    def test_functional_cost_ordering(self):
+        """HSE hybrid functionals are far costlier than semilocal DFT at
+        equal electron count (why Si256_hse runs longer than PdO-class
+        DFT despite fewer electrons)."""
+        dft = VaspWorkload("a", 1000, 100, "DFT", "RMM", "VeryFast", (1, 1, 1))
+        hse = VaspWorkload("b", 1000, 100, "HSE", "CG", "Damped", (1, 1, 1))
+        assert hse.compute_scale() > 3 * dft.compute_scale()
+
+    def test_kpoints_multiply_work(self):
+        k1 = workload("PdO4")          # 1x1x1
+        k27 = workload("GaAs-GW0")     # 3x3x3
+        assert k27.nkpts == 27 and k1.nkpts == 1
+
+    def test_algo_paths_have_distinct_mixes(self):
+        mixes = {w.algo: tuple(sorted(w.inner_ops().items()))
+                 for w in TABLE_I}
+        assert len(set(mixes.values())) >= 3  # RMM/BD/CG/GW0 differ
+
+    def test_gw0_is_alltoall_heavy(self):
+        gw = workload("GaAs-GW0").inner_ops()
+        dft = workload("PdO4").inner_ops()
+        assert gw["alltoall"] > dft["alltoall"]
+
+    def test_internal_cr_only_missing_for_rpa(self):
+        missing = [w.name for w in TABLE_I if not w.internal_cr_supported]
+        assert missing == ["GaAs-GW0"]
+
+    def test_band_groups_auto(self):
+        assert DftConfig(nranks=128, workload=TABLE_I[0]).band_groups() == 16
+        assert DftConfig(nranks=4, workload=TABLE_I[0]).band_groups() == 2
+        assert DftConfig(nranks=1, workload=TABLE_I[0]).band_groups() == 1
+        assert DftConfig(nranks=8, workload=TABLE_I[0],
+                         npar=4).band_groups() == 4
+
+    def test_vasp6_threads_reduce_per_rank_compute(self):
+        w = workload("CaPOH")
+        v5 = DftProxy(0, DftConfig(nranks=8, workload=w), TESTBOX)
+        v6 = DftProxy(0, DftConfig(nranks=8, workload=w, vasp6=True,
+                                   omp_threads=2), TESTBOX)
+        assert v6._times()["inner"] < v5._times()["inner"]
+
+    def test_resident_bytes_scale_with_system(self):
+        big = DftProxy(0, DftConfig(nranks=8, workload=workload("PdO4")),
+                       TESTBOX)
+        small = DftProxy(0, DftConfig(nranks=8, workload=workload("WOSiH")),
+                         TESTBOX)
+        assert big.resident_bytes() > small.resident_bytes()

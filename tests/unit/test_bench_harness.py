@@ -1,0 +1,75 @@
+"""Unit tests for the benchmark harness library."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    BenchScale,
+    checkpoint_rounds,
+    collective_rate_point,
+    current_scale,
+    fig2_point,
+    save_result,
+    table2_cell,
+)
+from repro.apps.workloads import workload
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig
+
+
+def test_scale_from_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    assert current_scale() is BenchScale.QUICK
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+    assert current_scale() is BenchScale.FULL
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+    with pytest.raises(ValueError):
+        current_scale()
+
+
+def test_save_result_writes_text_and_json(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    save_result("demo", "TABLE", {"x": [1, 2]})
+    assert (tmp_path / "demo.txt").read_text().strip() == "TABLE"
+    assert json.loads((tmp_path / "demo.json").read_text()) == {"x": [1, 2]}
+    assert "TABLE" in capsys.readouterr().out
+
+
+def test_fig2_point_native_vs_mana():
+    native = fig2_point(8, TESTBOX, None, steps=3)
+    mana = fig2_point(8, TESTBOX, ManaConfig.feature_2pc(), steps=3)
+    assert mana.results == native.results
+    assert mana.elapsed > native.elapsed
+
+
+def test_table2_cell_runs_workload():
+    out = table2_cell(TESTBOX, None, workload("WOSiH"), nranks=8, iterations=2)
+    assert out.total_collective_calls > 0
+
+
+def test_checkpoint_rounds_verifies_trajectory():
+    out = checkpoint_rounds(
+        8, TESTBOX, ManaConfig.feature_2pc(), rounds=2, steps=16
+    )
+    assert len([r for r in out.checkpoints if not r.get("skipped")]) == 2
+    assert len(out.restarts) == 2
+
+
+def test_collective_rate_point_fields():
+    point = collective_rate_point(1, TESTBOX, workload("WOSiH"), iterations=2)
+    assert point["nranks"] == TESTBOX.ranks_per_node
+    assert point["collectives_per_sec_per_process"] > 0
+
+
+def test_report_collates_all_sections(tmp_path):
+    from repro.bench.report import SECTIONS, build_report, write_report
+
+    # a fabricated results dir with two sections present
+    (tmp_path / "fig2_gromacs_runtime.txt").write_text("FIG2 TABLE")
+    (tmp_path / "table1_vasp_workloads.txt").write_text("TABLE1")
+    text = build_report(str(tmp_path))
+    assert "FIG2 TABLE" in text and "TABLE1" in text
+    assert text.count("missing —") == len(SECTIONS) - 2
+    out = write_report(str(tmp_path))
+    assert out.endswith("REPORT.md")

@@ -1,0 +1,98 @@
+"""Unit tests for the repro-mana CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+def test_workloads_lists_all_table1_cases(capsys):
+    rc, out = run_cli(capsys, "workloads")
+    assert rc == 0
+    for name in ("PdO4", "GaAsBi-64", "CuC_vdw", "Si256_hse", "B.hR105_hse",
+                 "PdO2", "CaPOH", "WOSiH", "GaAs-GW0"):
+        assert name in out
+
+
+def test_machines_lists_models(capsys):
+    rc, out = run_cli(capsys, "machines")
+    assert rc == 0
+    assert "haswell" in out and "knl" in out and "testbox" in out
+    assert "4.12" in out  # Cori's kernel
+
+
+def test_configs_lists_presets(capsys):
+    rc, out = run_cli(capsys, "configs")
+    assert rc == 0
+    assert "original" in out and "master" in out and "2pc" in out
+    assert "barrier_always" in out and "hybrid" in out
+
+
+def test_run_ring_native(capsys):
+    rc, out = run_cli(capsys, "run", "--app", "ring", "--ranks", "4",
+                      "--steps", "3", "--config", "native")
+    assert rc == 0
+    assert "elapsed" in out
+    assert "pt2pt calls" in out
+
+
+def test_run_ring_with_checkpoint_restart(capsys):
+    rc, out = run_cli(capsys, "run", "--app", "ring", "--ranks", "4",
+                      "--steps", "8", "--config", "2pc",
+                      "--checkpoint-at", "0.0003", "--action", "restart")
+    assert rc == 0
+    assert "checkpoint 0" in out
+
+
+def test_run_vasp_workload(capsys):
+    rc, out = run_cli(capsys, "run", "--app", "vasp", "--ranks", "8",
+                      "--iterations", "2", "--workload", "WOSiH",
+                      "--config", "master", "--machine", "testbox")
+    assert rc == 0
+    assert "collectives" in out
+
+
+def test_run_md_show_results(capsys):
+    rc, out = run_cli(capsys, "run", "--app", "md", "--ranks", "8",
+                      "--steps", "4", "--config", "native",
+                      "--show-results")
+    assert rc == 0
+    assert "rank 0:" in out
+
+
+def test_unknown_workload_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--app", "vasp", "--workload", "NotAWorkload"])
+
+
+def test_halt_and_resume_cli(tmp_path, capsys):
+    image = tmp_path / "ring.ckpt"
+    rc, out = run_cli(capsys, "run", "--app", "ring", "--ranks", "4",
+                      "--steps", "12", "--config", "2pc",
+                      "--halt-at", "0.0004", "--image-out", str(image))
+    assert rc == 0
+    assert "halted after checkpoint" in out
+    assert image.exists()
+    rc, out = run_cli(capsys, "resume", "--image", str(image),
+                      "--app", "ring", "--ranks", "4", "--steps", "12",
+                      "--show-results")
+    assert rc == 0
+    assert "resumed from" in out
+    assert "rank 3:" in out
+
+
+def test_halt_requires_mana_config(capsys):
+    import pytest as _pytest
+    with _pytest.raises(SystemExit):
+        main(["run", "--app", "ring", "--config", "native",
+              "--halt-at", "0.1"])
+
+
+def test_machines_includes_perlmutter(capsys):
+    rc, out = run_cli(capsys, "machines")
+    assert "perlmutter" in out

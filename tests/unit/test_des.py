@@ -1,0 +1,247 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.des import Advance, Park, Scheduler
+from repro.des.mailbox import Mailbox
+from repro.des.process import ProcState
+from repro.errors import DeadlockError, SimulationError
+
+
+def test_advance_accumulates_virtual_time():
+    sched = Scheduler()
+    trace = []
+
+    def prog():
+        trace.append(sched.now)
+        yield Advance(1.5)
+        trace.append(sched.now)
+        yield Advance(0.5)
+        trace.append(sched.now)
+        return "done"
+
+    proc = sched.spawn(prog(), "p")
+    sched.run()
+    assert trace == [0.0, 1.5, 2.0]
+    assert proc.state is ProcState.DONE
+    assert proc.result == "done"
+
+
+def test_zero_advance_is_cooperative_yield():
+    sched = Scheduler()
+    order = []
+
+    def prog(name):
+        for _ in range(3):
+            order.append(name)
+            yield Advance(0.0)
+
+    sched.spawn(prog("a"), "a")
+    sched.spawn(prog("b"), "b")
+    sched.run()
+    # strict alternation: each zero-advance goes to the back of the queue
+    assert order == ["a", "b", "a", "b", "a", "b"]
+    assert sched.now == 0.0
+
+
+def test_park_and_wake_passes_value():
+    sched = Scheduler()
+    got = []
+
+    def sleeper():
+        value = yield Park("test sleep")
+        got.append(value)
+
+    proc = sched.spawn(sleeper(), "sleeper")
+
+    def waker():
+        yield Advance(2.0)
+        sched.wake(proc, "hello")
+
+    sched.spawn(waker(), "waker")
+    sched.run()
+    assert got == ["hello"]
+    assert sched.now == 2.0
+
+
+def test_deadlock_detection_reports_reasons():
+    sched = Scheduler()
+
+    def stuck():
+        yield Park("waiting for godot")
+
+    sched.spawn(stuck(), "estragon")
+    with pytest.raises(DeadlockError) as exc:
+        sched.run()
+    assert "estragon" in str(exc.value)
+    assert "godot" in str(exc.value)
+    assert exc.value.parked == [("estragon", "waiting for godot")]
+
+
+def test_parked_daemon_is_not_a_deadlock():
+    sched = Scheduler()
+
+    def daemon():
+        yield Park("idle service")
+
+    def worker():
+        yield Advance(1.0)
+        return 42
+
+    sched.spawn(daemon(), "svc", daemon=True)
+    proc = sched.spawn(worker(), "w")
+    sched.run()
+    assert proc.result == 42
+
+
+def test_wake_non_parked_process_is_an_error():
+    sched = Scheduler()
+
+    def prog():
+        yield Advance(10.0)
+
+    proc = sched.spawn(prog(), "p")
+
+    def bad_waker():
+        yield Advance(1.0)
+        sched.wake(proc)
+
+    sched.spawn(bad_waker(), "bad")
+    with pytest.raises(SimulationError, match="not parked"):
+        sched.run()
+
+
+def test_double_wake_is_an_error():
+    sched = Scheduler()
+
+    def sleeper():
+        yield Park("z")
+
+    proc = sched.spawn(sleeper(), "s")
+
+    def waker():
+        yield Advance(1.0)
+        sched.wake(proc)
+        sched.wake(proc)
+
+    sched.spawn(waker(), "w")
+    with pytest.raises(SimulationError, match="wake"):
+        sched.run()
+
+
+def test_run_until_pauses_and_resumes():
+    sched = Scheduler()
+    ticks = []
+
+    def ticker():
+        for _ in range(5):
+            yield Advance(1.0)
+            ticks.append(sched.now)
+
+    sched.spawn(ticker(), "t")
+    sched.run(until=2.5)
+    assert ticks == [1.0, 2.0]
+    assert sched.now == 2.5
+    sched.run()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(ValueError):
+        Advance(-1.0)
+
+
+def test_kill_stops_process():
+    sched = Scheduler()
+
+    def prog():
+        while True:
+            yield Advance(1.0)
+
+    proc = sched.spawn(prog(), "loop")
+    sched.run(until=3.0)
+    proc.kill()
+    sched.run()
+    assert proc.state is ProcState.KILLED
+
+
+def test_yielding_garbage_raises():
+    sched = Scheduler()
+
+    def prog():
+        yield "not a syscall"
+
+    sched.spawn(prog(), "bad")
+    with pytest.raises(SimulationError, match="yield from"):
+        sched.run()
+
+
+def test_deterministic_event_order_for_ties():
+    sched = Scheduler()
+    order = []
+    for i in range(10):
+        sched.schedule(1.0, lambda i=i: order.append(i))
+    sched.run()
+    assert order == list(range(10))
+
+
+class TestMailbox:
+    def test_put_then_get(self):
+        sched = Scheduler()
+        box = Mailbox(sched, "m")
+        got = []
+
+        def reader():
+            proc = sched.procs[0]
+            value = yield from box.get(proc)
+            got.append(value)
+
+        sched.spawn(reader(), "reader")
+        box.put("x")
+        sched.run()
+        assert got == ["x"]
+
+    def test_get_parks_until_put(self):
+        sched = Scheduler()
+        box = Mailbox(sched, "m")
+        got = []
+
+        def reader():
+            proc = sched.procs[0]
+            value = yield from box.get(proc)
+            got.append((sched.now, value))
+
+        sched.spawn(reader(), "reader")
+
+        def writer():
+            yield Advance(3.0)
+            box.put("late")
+
+        sched.spawn(writer(), "writer")
+        sched.run()
+        assert got == [(3.0, "late")]
+
+    def test_fifo_order(self):
+        sched = Scheduler()
+        box = Mailbox(sched, "m")
+        for i in range(5):
+            box.put(i)
+        got = []
+
+        def reader():
+            proc = sched.procs[0]
+            for _ in range(5):
+                value = yield from box.get(proc)
+                got.append(value)
+
+        sched.spawn(reader(), "reader")
+        sched.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_try_get(self):
+        sched = Scheduler()
+        box = Mailbox(sched, "m")
+        assert box.try_get() is None
+        box.put(1)
+        assert box.try_get() == 1
+        assert len(box) == 0

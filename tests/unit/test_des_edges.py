@@ -1,0 +1,111 @@
+"""Unit tests: DES kernel edge cases."""
+
+import pytest
+
+from repro.des import Advance, Park, Scheduler
+from repro.des.process import ProcState
+from repro.errors import SimulationError
+
+
+def test_max_events_livelock_guard():
+    sched = Scheduler(max_events=100)
+
+    def spinner():
+        while True:
+            yield Advance(1e-6)
+
+    sched.spawn(spinner(), "spin")
+    with pytest.raises(SimulationError, match="max_events"):
+        sched.run()
+
+
+def test_schedule_at_absolute_time():
+    sched = Scheduler()
+    fired = []
+    sched.schedule_at(5.0, lambda: fired.append(sched.now))
+    sched.run()
+    assert fired == [5.0]
+
+
+def test_schedule_at_past_clamps_to_now():
+    sched = Scheduler()
+    fired = []
+
+    def prog():
+        yield Advance(3.0)
+        sched.schedule_at(1.0, lambda: fired.append(sched.now))
+
+    sched.spawn(prog(), "p")
+    sched.run()
+    assert fired == [3.0]
+
+
+def test_negative_schedule_rejected():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.schedule(-1.0, lambda: None)
+
+
+def test_kill_all_terminates_everything():
+    sched = Scheduler()
+
+    def parked():
+        yield Park("forever")
+
+    def looping():
+        while True:
+            yield Advance(1.0)
+
+    p1 = sched.spawn(parked(), "a")
+    p2 = sched.spawn(looping(), "b")
+    sched.run(until=2.0)
+    sched.kill_all()
+    sched.run()  # no deadlock: killed procs are not "parked"
+    assert p1.state is ProcState.KILLED
+    assert p2.state is ProcState.KILLED
+
+
+def test_try_wake_semantics():
+    sched = Scheduler()
+
+    def sleeper():
+        value = yield Park("nap")
+        return value
+
+    proc = sched.spawn(sleeper(), "s")
+
+    def waker():
+        yield Advance(1.0)
+        assert sched.try_wake(proc, "first") is True
+        assert sched.try_wake(proc, "second") is False  # already pending
+
+    sched.spawn(waker(), "w")
+    sched.run()
+    assert proc.result == "first"
+    assert sched.try_wake(proc) is False  # done
+
+
+def test_scheduler_not_reentrant():
+    sched = Scheduler()
+
+    def prog():
+        with pytest.raises(SimulationError, match="reentrant"):
+            sched.run()
+        yield Advance(0.0)
+
+    sched.spawn(prog(), "p")
+    sched.run()
+
+
+def test_exception_in_process_propagates_and_marks_failed():
+    sched = Scheduler()
+
+    def bad():
+        yield Advance(1.0)
+        raise ValueError("boom")
+
+    proc = sched.spawn(bad(), "bad")
+    with pytest.raises(ValueError, match="boom"):
+        sched.run()
+    assert proc.state is ProcState.FAILED
+    assert isinstance(proc.error, ValueError)

@@ -1,0 +1,73 @@
+"""Unit tests: machine models and burst buffer."""
+
+import pytest
+
+from repro.hosts import (
+    CORI_HASWELL,
+    CORI_KNL,
+    PERLMUTTER,
+    TESTBOX,
+    BurstBuffer,
+    MachineSpec,
+    machine_by_name,
+)
+
+
+class TestMachineSpec:
+    def test_node_mapping_block_placement(self):
+        m = CORI_HASWELL  # 32 ranks/node
+        assert m.node_of(0) == 0
+        assert m.node_of(31) == 0
+        assert m.node_of(32) == 1
+        assert m.node_of(2047) == 63
+
+    def test_compute_time_scales_with_flops(self):
+        assert CORI_HASWELL.compute_time(11.0e9) == pytest.approx(1.0)
+        assert CORI_HASWELL.compute_time(0) == 0.0
+        with pytest.raises(ValueError):
+            CORI_HASWELL.compute_time(-1)
+
+    def test_knl_task_slower_than_haswell(self):
+        flops = 1e9
+        assert (CORI_KNL.compute_time(flops)
+                > CORI_HASWELL.compute_time(flops) * 2)
+
+    def test_fsgsbase_by_kernel_version(self):
+        assert not CORI_HASWELL.fsgsbase_available()   # 4.12
+        assert not CORI_KNL.fsgsbase_available()
+        assert PERLMUTTER.fsgsbase_available()         # 5.14
+        assert TESTBOX.fsgsbase_available()            # 5.15
+        weird = MachineSpec(
+            name="x", cores_per_node=1, threads_per_core=1, cpu_ghz=1,
+            flops_per_task=1e9, sw_overhead_scale=1, ranks_per_node=1,
+            linux_kernel="not-a-version",
+        )
+        assert not weird.fsgsbase_available()
+
+    def test_mana_sw_time_includes_contention(self):
+        nominal = 1e-6
+        assert CORI_HASWELL.mana_sw_time(nominal) == pytest.approx(
+            nominal * CORI_HASWELL.sw_overhead_scale
+            * CORI_HASWELL.mana_contention
+        )
+        # native sw_time has no contention factor
+        assert CORI_HASWELL.sw_time(nominal) < CORI_HASWELL.mana_sw_time(nominal)
+
+    def test_lookup_by_name(self):
+        assert machine_by_name("knl") is CORI_KNL
+        assert machine_by_name("perlmutter") is PERLMUTTER
+        with pytest.raises(KeyError, match="known"):
+            machine_by_name("summit")
+
+
+class TestBurstBuffer:
+    def test_write_read_times(self):
+        bb = BurstBuffer(latency=1e-3, write_bw=1e9, read_bw=2e9)
+        assert bb.write_time(1_000_000_000) == pytest.approx(1.001)
+        assert bb.read_time(1_000_000_000) == pytest.approx(0.501)
+        assert bb.write_time(0) == pytest.approx(1e-3)
+
+    def test_perlmutter_bb_faster_than_cori(self):
+        n = 1 << 30
+        assert (PERLMUTTER.burst_buffer.write_time(n)
+                < CORI_HASWELL.burst_buffer.write_time(n))

@@ -1,0 +1,216 @@
+"""Unit tests: icoll log, replay log, checkpoint images, deadlock
+analyzer pieces, windows, session plumbing, HPCG proxy internals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ManaError, MpiError, RestartError
+from repro.hosts import CORI_HASWELL, TESTBOX
+from repro.mana.config import ManaConfig
+from repro.mana.icoll_log import IcollLog, IcollRecord
+from repro.mana.replay import ReplayLog
+from repro.simmpi.comm import RealComm
+from repro.simmpi.group import Group
+from repro.simmpi.window import Window
+
+
+class TestIcollLog:
+    def test_append_returns_index(self):
+        log = IcollLog()
+        i0 = log.append(IcollRecord(op="ibarrier", comm_vid=1, vid=10))
+        i1 = log.append(IcollRecord(op="ibcast", comm_vid=2, vid=11))
+        assert (i0, i1) == (0, 1)
+        assert len(log) == 2
+
+    def test_drop_comm_prunes_and_reindexes(self):
+        log = IcollLog()
+        log.append(IcollRecord(op="ibarrier", comm_vid=1, vid=10))
+        log.append(IcollRecord(op="ibcast", comm_vid=2, vid=11))
+        log.append(IcollRecord(op="ireduce", comm_vid=1, vid=12))
+        log.append(IcollRecord(op="iallreduce", comm_vid=2, vid=13))
+        dropped = log.drop_comm(1)
+        assert dropped == 2
+        index = log.reindex()
+        assert index == {11: 0, 13: 1}
+
+    def test_snapshot_restore_roundtrip(self):
+        log = IcollLog()
+        log.append(IcollRecord(op="ibcast", comm_vid=1,
+                               payload=np.arange(3), root=0, vid=5))
+        log2 = IcollLog()
+        log2.restore(log.snapshot())
+        assert len(log2) == 1
+        rec = log2.records[0]
+        assert rec.op == "ibcast" and rec.root == 0 and rec.vid == 5
+        np.testing.assert_array_equal(rec.payload, np.arange(3))
+
+
+class TestReplayLog:
+    def test_record_then_replay(self):
+        log = ReplayLog()
+        log.record("send", None)
+        log.record("recv", ("data", None))
+        replay = ReplayLog(log.snapshot(), replaying=True)
+        assert replay.next("send") is None
+        assert replay.next("recv") == ("data", None)
+        assert replay.exhausted()
+
+    def test_divergence_detected(self):
+        log = ReplayLog()
+        log.record("send", None)
+        replay = ReplayLog(log.snapshot(), replaying=True)
+        with pytest.raises(RestartError, match="divergence"):
+            replay.next("recv")
+
+    def test_record_while_replaying_rejected(self):
+        replay = ReplayLog([], replaying=True)
+        with pytest.raises(ManaError):
+            replay.record("send", None)
+
+    def test_recorded_values_are_isolated_from_mutation(self):
+        log = ReplayLog()
+        buf = [1, 2, 3]
+        log.record("recv", buf)
+        buf.append(4)  # the application reuses its buffer
+        replay = ReplayLog(log.snapshot(), replaying=True)
+        assert replay.next("recv") == [1, 2, 3]
+
+    def test_exhaustion_error(self):
+        replay = ReplayLog([], replaying=True)
+        with pytest.raises(ManaError, match="exhausted"):
+            replay.next("send")
+
+
+class TestWindowUnit:
+    def _win(self, p=2, n=4):
+        comm = RealComm(100, 101, Group(range(p)))
+        return Window(comm, {r: n for r in range(p)})
+
+    def test_put_applies_at_fence(self):
+        win = self._win()
+        win.open_epoch()
+        win.queue_put(1, 0, np.array([9.0, 9.0]))
+        assert float(win.buffers[1][0]) == 0.0  # not yet applied
+        win.close_epoch()
+        assert float(win.buffers[1][0]) == 9.0
+
+    def test_get_sees_epoch_opening_snapshot(self):
+        win = self._win()
+        win.buffers[0][:] = 5.0
+        win.open_epoch()
+        win.queue_put(0, 0, np.array([7.0]))
+        np.testing.assert_array_equal(win.read(0, 0, 1), [5.0])
+        win.close_epoch()
+
+    def test_accumulate_sums(self):
+        win = self._win()
+        win.open_epoch()
+        win.queue_accumulate(0, 1, np.array([2.0]))
+        win.queue_accumulate(0, 1, np.array([3.0]))
+        win.close_epoch()
+        assert float(win.buffers[0][1]) == 5.0
+
+    def test_out_of_range_access_rejected(self):
+        win = self._win(n=2)
+        win.open_epoch()
+        win.queue_put(0, 1, np.array([1.0, 1.0]))
+        with pytest.raises(MpiError, match="outside"):
+            win.close_epoch()
+
+    def test_ops_outside_epoch_rejected(self):
+        win = self._win()
+        with pytest.raises(MpiError):
+            win.queue_put(0, 0, np.array([1.0]))
+        with pytest.raises(MpiError):
+            win.read(0, 0, 1)
+        with pytest.raises(MpiError):
+            win.close_epoch()
+
+    def test_fence_seq_per_rank(self):
+        win = self._win()
+        assert win.next_fence_seq(0) == 0
+        assert win.next_fence_seq(1) == 0
+        assert win.next_fence_seq(0) == 1
+
+
+class TestCheckpointImage:
+    def test_image_roundtrips_through_bytes(self):
+        from repro.apps.micro import TokenRing
+        from repro.mana import ManaSession
+        from repro.mana.session import CheckpointPlan
+
+        factory = lambda r: TokenRing(r, laps=4, compute_s=1e-3)
+        probe = ManaSession(2, factory, TESTBOX, ManaConfig.feature_2pc()).run()
+        session = ManaSession(2, factory, TESTBOX, ManaConfig.feature_2pc())
+        session.run(checkpoints=[CheckpointPlan(at=probe.elapsed * 0.5,
+                                                action="resume")])
+        image = session.rt.ranks[0].last_image
+        payload = image.payload()  # decodes the framed blob
+        assert payload["rank"] == 0
+        assert "counters" in payload and "vcomms" in payload
+        assert image.nbytes > len(image.blob)  # modeled overhead included
+        assert image.base_bytes == TESTBOX.base_image_bytes
+
+    def test_bb_times_scale_with_size(self):
+        from repro.mana.checkpoint import bb_read_time, bb_write_time
+
+        class FakeRt:
+            machine = CORI_HASWELL
+            nranks = 64
+
+        class FakeRank:
+            rt = FakeRt()
+
+        small = bb_write_time(FakeRank(), 1 << 20)
+        big = bb_write_time(FakeRank(), 1 << 30)
+        assert big > small * 100
+        assert bb_read_time(FakeRank(), 1 << 30) < big  # reads are faster
+
+
+class TestHpcgProxyUnits:
+    def test_spmv_is_symmetric_positive_definite_action(self):
+        from repro.apps.hpcg_proxy import HpcgConfig, HpcgProxy
+
+        proxy = HpcgProxy(0, HpcgConfig(nranks=1, sim_n=16), TESTBOX)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            v = rng.normal(size=16)
+            assert float(v @ proxy._spmv(v)) > 0  # positive definite
+
+    def test_residuals_decrease(self):
+        from repro.apps.hpcg_proxy import HpcgConfig, HpcgProxy
+        from repro.mana.session import run_app_native
+
+        cfg = HpcgConfig(nranks=4, iterations=8)
+        out = run_app_native(4, lambda r: HpcgProxy(r, cfg, TESTBOX), TESTBOX)
+        _checksum, residuals = out.results[0]
+        assert residuals[-1] < residuals[0]
+        # all ranks agree on the global residual history
+        assert all(r[1] == residuals for r in out.results)
+
+    def test_checkpoint_restart_preserves_convergence(self):
+        from repro.apps.hpcg_proxy import HpcgConfig, HpcgProxy
+        from repro.mana import ManaSession
+        from repro.mana.session import CheckpointPlan
+
+        cfg = HpcgConfig(nranks=4, iterations=8)
+        factory = lambda r: HpcgProxy(r, cfg, TESTBOX)
+        mana = ManaConfig.feature_2pc()
+        base = ManaSession(4, factory, TESTBOX, mana).run()
+        ck = ManaSession(4, factory, TESTBOX, mana).run(
+            checkpoints=[CheckpointPlan(at=base.elapsed * 0.5,
+                                        action="restart")]
+        )
+        assert ck.results == base.results
+
+
+class TestRunOutcome:
+    def test_totals_aggregate_rank_stats(self):
+        from repro.apps.micro import AllreduceLoop
+        from repro.mana.session import run_app_native
+
+        out = run_app_native(4, lambda r: AllreduceLoop(r, iters=3), TESTBOX)
+        # 3 allreduces + 1 finalize barrier per rank
+        assert out.total_collective_calls == 4 * 4
+        assert out.total_pt2pt_calls == 0
+        assert out.network_messages > 0

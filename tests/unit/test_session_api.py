@@ -1,0 +1,45 @@
+"""Unit tests: session API contracts and misuse handling."""
+
+import pytest
+
+from repro.apps.micro import TokenRing
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+
+
+def test_session_is_single_use():
+    factory = lambda r: TokenRing(r, laps=2)
+    session = ManaSession(2, factory, TESTBOX, ManaConfig.feature_2pc())
+    session.run()
+    with pytest.raises(RuntimeError, match="once"):
+        session.run()
+
+
+def test_invalid_checkpoint_action_rejected():
+    with pytest.raises(ValueError, match="unknown checkpoint action"):
+        CheckpointPlan(at=1.0, action="explode")
+
+
+def test_reexec_images_require_recording_config():
+    factory = lambda r: TokenRing(r, laps=2)
+    with pytest.raises(ValueError, match="record_replay"):
+        ManaSession(2, factory, TESTBOX, ManaConfig.feature_2pc(),
+                    reexec_images=[{}, {}])
+
+
+def test_run_until_reports_partial_state():
+    factory = lambda r: TokenRing(r, laps=10, compute_s=1e-3)
+    session = ManaSession(2, factory, TESTBOX, ManaConfig.feature_2pc())
+    out = session.run(until=1e-3)
+    # the run was cut; ranks have no results yet
+    assert out.results == [None, None]
+    assert session.sched.now == pytest.approx(1e-3)
+
+
+def test_default_config_is_feature_2pc():
+    factory = lambda r: TokenRing(r, laps=2)
+    session = ManaSession(2, factory, TESTBOX)
+    assert session.cfg.name == "feature/2pc"
+    out = session.run()
+    assert out.results == [TokenRing.expected(r, 2, 2) for r in range(2)]

@@ -1,0 +1,194 @@
+"""Unit tests: groups, communicator creation, context identity."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.simmpi import COMM_NULL, Group, SUM, UNDEFINED
+from repro.simmpi.group import IDENT, SIMILAR, UNEQUAL
+from repro.simmpi.runner import run_native
+
+
+class TestGroup:
+    def test_basic_queries(self):
+        g = Group([4, 2, 7])
+        assert g.size == 3
+        assert g.rank_of(2) == 1
+        assert g.rank_of(99) is UNDEFINED
+        assert g.world_rank(2) == 7
+
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(MpiError):
+            Group([1, 1, 2])
+
+    def test_translate_ranks(self):
+        world = Group(range(8))
+        sub = Group([6, 0, 3])
+        assert sub.translate_ranks([0, 1, 2], world) == [6, 0, 3]
+        assert world.translate_ranks([5], sub) == [UNDEFINED]
+
+    def test_translate_all_is_section_iiik_basis(self):
+        """translate_all_to(world) recovers the world-rank tuple locally."""
+        world = Group(range(16))
+        sub = Group([3, 14, 9])
+        assert sub.translate_all_to(world) == [3, 14, 9]
+
+    def test_set_operations(self):
+        a = Group([0, 1, 2, 3])
+        b = Group([2, 3, 4])
+        assert a.union(b).world_ranks == (0, 1, 2, 3, 4)
+        assert a.intersection(b).world_ranks == (2, 3)
+        assert a.difference(b).world_ranks == (0, 1)
+
+    def test_incl_excl(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([2, 0]).world_ranks == (30, 10)
+        assert g.excl([1, 3]).world_ranks == (10, 30)
+
+    def test_compare(self):
+        assert Group([1, 2]).compare(Group([1, 2])) == IDENT
+        assert Group([1, 2]).compare(Group([2, 1])) == SIMILAR
+        assert Group([1, 2]).compare(Group([1, 3])) == UNEQUAL
+
+
+class TestCommSplit:
+    def test_split_even_odd(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            color = task.world_rank % 2
+            sub = yield from lib.comm_split(task, w, color, key=task.world_rank)
+            total = yield from lib.allreduce(task, sub, task.world_rank, SUM)
+            return sub.size, total
+
+        run = run_native(6, prog)
+        for r, (size, total) in enumerate(run.results):
+            assert size == 3
+            assert total == (0 + 2 + 4 if r % 2 == 0 else 1 + 3 + 5)
+
+    def test_split_key_reorders_ranks(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            # reverse order within the new communicator
+            sub = yield from lib.comm_split(task, w, 0, key=-task.world_rank)
+            return lib.comm_rank(task, sub)
+
+        run = run_native(4, prog)
+        assert run.results == [3, 2, 1, 0]
+
+    def test_split_undefined_returns_comm_null(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            color = UNDEFINED if task.world_rank == 0 else 1
+            sub = yield from lib.comm_split(task, w, color)
+            if sub is COMM_NULL:
+                return "null"
+            return lib.comm_size(sub)
+
+        run = run_native(4, prog)
+        assert run.results == ["null", 3, 3, 3]
+
+    def test_members_share_one_real_comm_object(self):
+        def prog(lib, task):
+            sub = yield from lib.comm_split(task, lib.comm_world, 0)
+            return sub
+
+        run = run_native(4, prog)
+        assert len({id(c) for c in run.results}) == 1
+
+    def test_nested_split(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            half = yield from lib.comm_split(task, w, task.world_rank // 4)
+            quarter = yield from lib.comm_split(
+                task, half, lib.comm_rank(task, half) // 2
+            )
+            v = yield from lib.allreduce(task, quarter, task.world_rank, SUM)
+            return v
+
+        run = run_native(8, prog)
+        assert run.results == [1, 1, 5, 5, 9, 9, 13, 13]
+
+
+class TestCommDupCreateFree:
+    def test_dup_is_distinct_context(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            d = yield from lib.comm_dup(task, w)
+            return d.pt2pt_ctx != w.pt2pt_ctx, d.group == w.group
+
+        run = run_native(3, prog)
+        assert all(r == (True, True) for r in run.results)
+
+    def test_traffic_on_dup_does_not_match_parent(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            d = yield from lib.comm_dup(task, w)
+            if task.world_rank == 0:
+                yield from lib.send(task, d, 1, tag=0, payload="on-dup")
+                yield from lib.send(task, w, 1, tag=0, payload="on-world")
+                return None
+            data_w, _ = yield from lib.recv(task, w, 0, 0)
+            data_d, _ = yield from lib.recv(task, d, 0, 0)
+            return data_w, data_d
+
+        run = run_native(2, prog)
+        assert run.results[1] == ("on-world", "on-dup")
+
+    def test_comm_create_subset(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            group = Group([0, 2])
+            sub = yield from lib.comm_create(task, w, group)
+            if sub is COMM_NULL:
+                return None
+            return lib.comm_rank(task, sub)
+
+        run = run_native(4, prog)
+        assert run.results == [0, None, 1, None]
+
+    def test_comm_create_rejects_non_member_group(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            half = yield from lib.comm_split(task, w, task.world_rank // 2)
+            bad = Group([0, 3])  # 3 not in rank 0/1's half
+            try:
+                yield from lib.comm_create(task, half, bad)
+            except MpiError:
+                return "raised"
+            return "no raise"
+
+        run = run_native(4, prog)
+        assert run.results[0] == "raised"
+
+    def test_comm_free_requires_all_members(self):
+        def prog(lib, task):
+            w = lib.comm_world
+            d = yield from lib.comm_dup(task, w)
+            if task.world_rank == 0:
+                lib.comm_free(task, d)
+                after_first = d.freed  # only one member freed -> still alive
+                yield from lib.barrier(task, w)
+                return after_first
+            yield from lib.barrier(task, w)
+            lib.comm_free(task, d)
+            return d.freed
+
+        run = run_native(2, prog)
+        assert run.results[0] is False
+        assert run.results[1] is True
+
+    def test_context_ids_differ_across_incarnations(self):
+        def prog(lib, task):
+            d = yield from lib.comm_dup(task, lib.comm_world)
+            return d.pt2pt_ctx
+
+        run1 = run_native(2, prog)
+        # a "restarted" library gets different context IDs for the same
+        # logical communicator — the fact MANA virtualization must hide
+        from repro.des import Scheduler
+        from repro.hosts import TESTBOX
+        from repro.simmpi import MpiLibrary
+        from repro.simnet import Network
+
+        sched = Scheduler()
+        lib2 = MpiLibrary(sched, Network(sched, TESTBOX, 2), TESTBOX, incarnation=1)
+        assert lib2.comm_world.pt2pt_ctx != run1.lib.comm_world.pt2pt_ctx

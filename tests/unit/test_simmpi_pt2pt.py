@@ -1,0 +1,238 @@
+"""Unit tests for the simulated MPI library: point-to-point."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, MpiInvalidHandle
+from repro.simmpi import ANY_SOURCE, ANY_TAG, PROC_NULL
+from repro.simmpi.runner import run_native
+
+
+def test_send_recv_delivers_payload():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            yield from lib.send(task, w, dest=1, tag=5, payload={"a": 1})
+            return "sent"
+        else:
+            data, status = yield from lib.recv(task, w, source=0, tag=5)
+            return data, status.source, status.tag
+
+    run = run_native(2, prog)
+    assert run.results[0] == "sent"
+    data, src, tag = run.results[1]
+    assert data == {"a": 1} and src == 0 and tag == 5
+    assert run.elapsed > 0
+
+
+def test_numpy_payload_and_byte_count():
+    arr = np.arange(100, dtype=np.float64)
+
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            yield from lib.send(task, w, 1, 0, arr)
+            return None
+        data, status = yield from lib.recv(task, w, 0, 0)
+        return data, status.count
+
+    run = run_native(2, prog)
+    data, count = run.results[1]
+    np.testing.assert_array_equal(data, arr)
+    assert count == arr.nbytes
+
+
+def test_any_source_any_tag_wildcards():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank in (0, 1):
+            yield from lib.send(task, w, 2, tag=10 + task.world_rank,
+                                payload=task.world_rank)
+            return None
+        got = []
+        for _ in range(2):
+            data, status = yield from lib.recv(task, w, ANY_SOURCE, ANY_TAG)
+            got.append((data, status.source, status.tag))
+        return sorted(got)
+
+    run = run_native(3, prog)
+    assert run.results[2] == [(0, 0, 10), (1, 1, 11)]
+
+
+def test_message_ordering_same_pair_same_tag():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            for i in range(10):
+                yield from lib.send(task, w, 1, tag=0, payload=i)
+            return None
+        got = []
+        for _ in range(10):
+            data, _ = yield from lib.recv(task, w, 0, 0)
+            got.append(data)
+        return got
+
+    run = run_native(2, prog)
+    assert run.results[1] == list(range(10))
+
+
+def test_isend_completes_eagerly_irecv_waits():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            req = yield from lib.isend(task, w, 1, 0, "hi")
+            flag, _ = lib.test(task, req)
+            return flag  # eager send: locally complete at injection
+        req = lib.irecv(task, w, 0, 0)
+        flag_before, _ = lib.test(task, req)
+        data = yield from lib.wait(task, req)
+        return flag_before, data
+
+    run = run_native(2, prog)
+    assert run.results[0] is True
+    flag_before, data = run.results[1]
+    assert flag_before is False
+    assert data == "hi"
+
+
+def test_unexpected_message_queue_then_late_recv():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            yield from lib.send(task, w, 1, 3, "early")
+            return None
+        # let the message land in the unexpected queue before we recv
+        from repro.des.syscalls import Advance
+        yield Advance(1.0)
+        flag, status = lib.iprobe(task, w, 0, 3)
+        data, _ = yield from lib.recv(task, w, 0, 3)
+        return flag, status.count, data
+
+    run = run_native(2, prog)
+    flag, count, data = run.results[1]
+    assert flag is True
+    assert count == len("early".encode())
+    assert data == "early"
+
+
+def test_iprobe_does_not_consume():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            yield from lib.send(task, w, 1, 0, "x")
+            return None
+        from repro.des.syscalls import Advance
+        yield Advance(1.0)
+        f1, _ = lib.iprobe(task, w, 0, 0)
+        f2, _ = lib.iprobe(task, w, 0, 0)
+        data, _ = yield from lib.recv(task, w, 0, 0)
+        f3, _ = lib.iprobe(task, w, 0, 0)
+        return f1, f2, data, f3
+
+    run = run_native(2, prog)
+    assert run.results[1] == (True, True, "x", False)
+
+
+def test_iprobe_cannot_see_message_matched_by_posted_irecv():
+    """The Section III-B subtlety: a message matched by an already-posted
+    MPI_Irecv is invisible to MPI_Iprobe."""
+
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            from repro.des.syscalls import Advance
+            yield Advance(1.0)
+            yield from lib.send(task, w, 1, 0, "y")
+            return None
+        req = lib.irecv(task, w, 0, 0)  # posted before the send happens
+        from repro.des.syscalls import Advance
+        yield Advance(5.0)  # message has arrived and matched the irecv
+        flag, _ = lib.iprobe(task, w, 0, 0)
+        data = yield from lib.wait(task, req)
+        return flag, data
+
+    run = run_native(2, prog)
+    flag, data = run.results[1]
+    assert flag is False  # invisible to iprobe
+    assert data == "y"
+
+
+def test_proc_null_send_recv_complete_immediately():
+    def prog(lib, task):
+        w = lib.comm_world
+        yield from lib.send(task, w, PROC_NULL, 0, "ignored")
+        data, status = yield from lib.recv(task, w, PROC_NULL, 0)
+        return data, status.count
+
+    run = run_native(1, prog)
+    assert run.results[0] == (None, 0)
+
+
+def test_self_send_recv():
+    def prog(lib, task):
+        w = lib.comm_world
+        req = yield from lib.isend(task, w, 0, 9, "self")
+        data, _ = yield from lib.recv(task, w, 0, 9)
+        yield from lib.wait(task, req)
+        return data
+
+    run = run_native(1, prog)
+    assert run.results[0] == "self"
+
+
+def test_recv_without_send_deadlocks_with_report():
+    def prog(lib, task):
+        data, _ = yield from lib.recv(task, lib.comm_world, source=1, tag=0)
+        return data
+
+    with pytest.raises(DeadlockError, match="MPI_Wait"):
+        run_native(2, prog)
+
+
+def test_waitall_order():
+    def prog(lib, task):
+        w = lib.comm_world
+        if task.world_rank == 0:
+            for i in range(4):
+                yield from lib.send(task, w, 1, tag=i, payload=i * 10)
+            return None
+        reqs = [lib.irecv(task, w, 0, tag=i) for i in range(4)]
+        out = []
+        for r in reqs:
+            out.append((yield from lib.wait(task, r)))
+        return out
+
+    run = run_native(2, prog)
+    assert run.results[1] == [0, 10, 20, 30]
+
+
+def test_destroyed_library_rejects_calls():
+    def prog(lib, task):
+        yield from lib.barrier(task, lib.comm_world)
+        return None
+
+    run = run_native(2, prog)
+    run.lib.destroy()
+    with pytest.raises(MpiInvalidHandle, match="destroyed"):
+        run.lib.iprobe(
+            run.lib.make_task(run.sched.procs[0], 0), run.lib.comm_world, 0, 0
+        )
+
+
+def test_lower_half_alloc_mem_lost_on_destroy():
+    def prog(lib, task):
+        yield from lib.barrier(task, lib.comm_world)
+        return lib.alloc_mem(4096)
+
+    run = run_native(1, prog)
+    mem = run.results[0]
+    assert run.lib._lh_mem[mem.mem_id] is mem
+    run.lib.destroy()
+    # a fresh incarnation has no record of the allocation
+    from repro.des import Scheduler
+    from repro.simnet import Network
+    from repro.simmpi import MpiLibrary
+    from repro.hosts import TESTBOX
+    sched2 = Scheduler()
+    lib2 = MpiLibrary(sched2, Network(sched2, TESTBOX, 1), TESTBOX, incarnation=1)
+    assert mem.mem_id not in lib2._lh_mem
