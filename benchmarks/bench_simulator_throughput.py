@@ -14,10 +14,11 @@ from repro.hosts import CORI_HASWELL
 from repro.mana import ManaConfig, ManaSession
 
 
-def run_workload():
-    cfg = DftConfig(nranks=64, workload=workload("CaPOH"), iterations=2)
+def run_workload(nranks: int = 64, iterations: int = 2):
+    cfg = DftConfig(nranks=nranks, workload=workload("CaPOH"),
+                    iterations=iterations)
     factory = lambda r: DftProxy(r, cfg, CORI_HASWELL)
-    session = ManaSession(64, factory, CORI_HASWELL, ManaConfig.master())
+    session = ManaSession(nranks, factory, CORI_HASWELL, ManaConfig.master())
     session.run()
     return session.sched.events_run
 
@@ -36,3 +37,31 @@ def test_event_throughput(benchmark):
     # floor chosen far below current (~170k/s) to catch order-of-magnitude
     # regressions without flaking on slow machines
     assert rate > 20_000
+
+
+def smoke(nranks: int = 8, iterations: int = 1) -> int:
+    """One small untimed pass — a CI target that proves the bench's
+    workload still runs end-to-end without paying benchmark rounds."""
+    events = run_workload(nranks=nranks, iterations=iterations)
+    assert events > 0
+    return events
+
+
+if __name__ == "__main__":
+    import argparse
+    import time
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run one small workload pass and exit")
+    parser.add_argument("--nranks", type=int, default=8)
+    parser.add_argument("--iterations", type=int, default=1)
+    args = parser.parse_args()
+    if args.smoke:
+        t0 = time.perf_counter()
+        events = smoke(args.nranks, args.iterations)
+        dt = time.perf_counter() - t0
+        print(f"smoke OK: {events} events in {dt:.2f}s wall "
+              f"({events / dt / 1e3:.0f}k events/s)")
+    else:
+        parser.error("use --smoke, or run via pytest for the timed bench")

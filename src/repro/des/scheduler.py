@@ -9,6 +9,7 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 from repro.errors import DeadlockError, SimulationError
 from repro.des.process import Proc, ProcState
 from repro.des.syscalls import Advance, Park, Syscall
+from repro.util.trace import Tracer
 
 
 class Scheduler:
@@ -29,6 +30,10 @@ class Scheduler:
         self._events_run = 0
         self._max_events = max_events
         self._running = False
+        #: the trace-event spine: every layer above (network, MPI
+        #: library, pipeline stages) emits through this tracer, stamped
+        #: with the virtual clock.  Disabled (null sink) by default.
+        self.tracer = Tracer(clock=lambda: self.now)
 
     # ------------------------------------------------------------------
     # event primitives
@@ -52,6 +57,8 @@ class Scheduler:
         self.procs.append(proc)
         proc.state = ProcState.RUNNABLE
         self.schedule(0.0, lambda: self._resume(proc, None))
+        if self.tracer.enabled:
+            self.tracer.emit("scheduler", "spawn", proc=name, pid=proc.pid)
         return proc
 
     def wake(self, proc: Proc, value: Any = None) -> None:
@@ -74,6 +81,8 @@ class Scheduler:
         proc._wake_value = value
         proc.state = ProcState.RUNNABLE
         self.schedule(0.0, lambda: self._deliver_wake(proc))
+        if self.tracer.enabled:
+            self.tracer.emit("scheduler", "wake", proc=proc.name)
 
     def try_wake(self, proc: Proc, value: Any = None) -> bool:
         """Wake ``proc`` if it is parked and not already being woken.
@@ -121,6 +130,10 @@ class Scheduler:
         elif isinstance(item, Park):
             proc.state = ProcState.PARKED
             proc.park_reason = item.reason
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "scheduler", "park", proc=proc.name, reason=item.reason
+                )
         elif isinstance(item, Syscall):  # pragma: no cover - future syscalls
             raise SimulationError(f"unhandled syscall {item!r} from {proc.name}")
         else:

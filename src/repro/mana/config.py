@@ -133,6 +133,12 @@ class ManaConfig:
     #: maximum release rounds during checkpoint equalization before the
     #: coordinator declares the checkpoint stuck
     max_release_rounds: int = 512
+    #: polls between blocked-wait check-ins once a checkpoint intent
+    #: arrives (the TwoPhaseGate's blocked-wait policy; sweepable)
+    blocked_poll_budget: int = 16
+    #: fruitless polls before a wait loop parks idle (the endpoint
+    #: nudges it back); sweepable
+    idle_poll_limit: int = 3
     overheads: OverheadModel = field(default_factory=OverheadModel)
 
     # ------------------------------------------------------------------

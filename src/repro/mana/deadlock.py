@@ -222,12 +222,19 @@ class DeadlockMonitor:
         from repro.des.syscalls import Advance
         from repro.errors import DeadlockError
 
+        tracer = self.rt.sched.tracer
         while True:
             yield Advance(self.interval)
             if all(m.finalized for m in self.rt.ranks):
                 return  # computation over; stop keeping the clock alive
             report = analyze(self.rt)
             knot = frozenset(b.rank for b in report.deadlocked)
+            if tracer.enabled:
+                tracer.emit(
+                    "deadlock", "sample",
+                    blocked=len(report.blocked),
+                    deadlocked=sorted(knot),
+                )
             if knot and knot == self._last_knot:
                 self.reports.append(report)
                 if self.raise_on_deadlock:

@@ -34,6 +34,30 @@ from repro.simnet.oob import COORDINATOR_ID
 MAX_DRAIN_SPINS = 10_000
 
 
+def _assert_app_quiesced(mrank: ManaRank) -> None:
+    """Post-drain invariant: once this rank's per-pair deficit is zero,
+    no *application*-context message destined to it may still be in the
+    fabric (every rank is at a safe point during the drain, so nothing
+    new is being sent; collective-internal traffic is out of scope).
+    The fabric's high-water mark is a simulation-side oracle the real
+    MANA does not have — we use it to catch accounting drift, not to
+    drain."""
+    net = mrank.rt.network
+    leftovers = net.app_in_flight(dst=mrank.rank)
+    if leftovers:
+        raise DrainError(
+            f"rank {mrank.rank}: drain reported balanced counters with "
+            f"{len(leftovers)} application message(s) still in flight: "
+            + ", ".join(repr(m) for m in leftovers[:8])
+        )
+    tr = mrank.rt.sched.tracer
+    if tr.enabled:
+        tr.emit(
+            "drain_accounting", "quiesced", rank=mrank.rank,
+            in_flight_peak=net.in_flight_peak,
+        )
+
+
 def _probe_and_buffer(mrank: ManaRank):
     """Sweep every active communicator with Iprobe; Recv anything found
     into the drain buffer.  Returns True if progress was made."""
@@ -115,6 +139,7 @@ def drain_alltoall(mrank: ManaRank):
     while True:
         deficit = mrank.counters.deficit_from(expected)
         if not deficit:
+            _assert_app_quiesced(mrank)
             return
         progressed = yield from _probe_and_buffer(mrank)
         if _test_pending_irecvs(mrank):
@@ -157,6 +182,7 @@ def drain_coordinator(mrank: ManaRank):
                 f"rank {mrank.rank}: expected drain verdict, got {directive!r}"
             )
         if directive[1]:
+            _assert_app_quiesced(mrank)
             return  # globally balanced
         yield from _probe_and_buffer(mrank)
         _test_pending_irecvs(mrank)

@@ -1,0 +1,46 @@
+"""The layered interposition pipeline behind the MANA wrapper library.
+
+Five composable per-rank stages, dispatched by a declarative call
+registry (see :mod:`repro.mana.pipeline.core`):
+
+* :class:`TwoPhaseGate` — checkpoint prologues and blocked-wait policy
+* :class:`Virtualization` — virtual↔real comm/request/group translation
+* :class:`LowerHalfCosting` — FS-register + wrapper-overhead charging
+* :class:`DrainAccounting` — per-pair drain byte/message bookkeeping
+* :class:`SemanticLowering` — Send→Isend+test, Recv/Wait→Test loops,
+  collective/icoll/comm-management skeletons
+"""
+
+from .accounting import DrainAccounting
+from .core import Pipeline
+from .costing import LowerHalfCosting
+from .gate import TwoPhaseGate
+from .lowering import SemanticLowering
+from .registry import (
+    CALL_SPECS,
+    COLLECTIVE_DESCS,
+    COMM_MGMT_DESCS,
+    ICOLL_DESCS,
+    CallSpec,
+    CollectiveDesc,
+    CommMgmtDesc,
+    IcollDesc,
+)
+from .virtualization import Virtualization
+
+__all__ = [
+    "CALL_SPECS",
+    "COLLECTIVE_DESCS",
+    "COMM_MGMT_DESCS",
+    "ICOLL_DESCS",
+    "CallSpec",
+    "CollectiveDesc",
+    "CommMgmtDesc",
+    "DrainAccounting",
+    "IcollDesc",
+    "LowerHalfCosting",
+    "Pipeline",
+    "SemanticLowering",
+    "TwoPhaseGate",
+    "Virtualization",
+]

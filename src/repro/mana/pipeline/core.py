@@ -1,0 +1,66 @@
+"""The interposition pipeline: registry dispatch over the five stages.
+
+One :class:`Pipeline` exists per rank.  A wrapper entry point is one
+``yield from pipe.call(name, ...)``: the registry row says whether the
+call is counted and whether it owes the gate a safe point, and names the
+:class:`~repro.mana.pipeline.lowering.SemanticLowering` handler that
+lowers it.  Family calls (collectives, icolls, communicator management)
+additionally carry their descriptor into the shared skeleton.
+
+Stage order for a non-collective call::
+
+    count → TwoPhaseGate.entry → SemanticLowering
+              └─ Virtualization (translate)
+              └─ LowerHalfCosting (one Advance)
+              └─ lower half (simmpi)
+              └─ DrainAccounting (count bytes)
+
+Blocking collectives run the gate *inside* the skeleton (the horizon
+gate needs the translated communicator's gid first).
+"""
+
+from __future__ import annotations
+
+from .accounting import DrainAccounting
+from .costing import LowerHalfCosting
+from .gate import TwoPhaseGate
+from .lowering import SemanticLowering
+from .registry import CALL_SPECS
+from .virtualization import Virtualization
+
+
+class Pipeline:
+    """Per-rank stage stack + declarative dispatch."""
+
+    def __init__(self, api):
+        mrank = api.mrank
+        self.api = api
+        self.gate = TwoPhaseGate(mrank)
+        self.virt = Virtualization(mrank, api.COMM_WORLD)
+        self.cost = LowerHalfCosting(mrank)
+        self.acct = DrainAccounting(mrank)
+        self.lower = SemanticLowering(api, self.gate, self.virt,
+                                      self.cost, self.acct)
+        self._tracer = mrank.rt.sched.tracer
+
+    def call(self, name: str, *args, **kwargs):
+        """Lower one MPI entry point through the stages (a generator)."""
+        spec = CALL_SPECS[name]
+        api = self.api
+        if spec.count:
+            api._count(name)
+        tr = self._tracer
+        if tr.enabled:
+            tr.emit("semantic_lowering", "enter", call=name,
+                    rank=api.mrank.rank)
+        if spec.checkin:
+            yield from self.gate.entry(name)
+        handler = getattr(self.lower, spec.handler)
+        if spec.desc is not None:
+            result = yield from handler(spec.desc, *args, **kwargs)
+        else:
+            result = yield from handler(*args, **kwargs)
+        if tr.enabled:
+            tr.emit("semantic_lowering", "exit", call=name,
+                    rank=api.mrank.rank)
+        return result

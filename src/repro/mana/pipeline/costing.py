@@ -1,0 +1,60 @@
+"""LowerHalfCosting: the overhead-charging stage.
+
+One wrapper invocation's modeled software cost — the DMTCP lock pair,
+commit phases, lambda frames, virtual-request bookkeeping, the per-pair
+counter update, the multi-call rank helper, and the FS-register context
+switches of every lower-half round trip (Sections III-G/III-H/III-I) —
+is computed here, from the knobs in ``fsreg.py``/``config.py``.  The
+pipeline charges it as a single ``Advance`` per wrapper, which keeps the
+event count manageable at scale.
+"""
+
+from __future__ import annotations
+
+from repro.mana.fsreg import lower_half_call_cost
+from repro.mana.runtime import ManaRank
+
+
+class LowerHalfCosting:
+    """Per-rank costing stage."""
+
+    def __init__(self, mrank: ManaRank):
+        self.mrank = mrank
+        self.cfg = mrank.rt.cfg
+        self.machine = mrank.rt.machine
+        self._tracer = mrank.rt.sched.tracer
+
+    def wrapper_cost(
+        self,
+        lower_calls: int = 1,
+        lookup_cost: float = 0.0,
+        vreq_ops: int = 0,
+        pt2pt: bool = False,
+    ) -> float:
+        """One wrapper invocation's modeled software cost (Fig. 1 body).
+
+        Accumulates into the rank's overhead telemetry as a side effect
+        and returns the virtual seconds the caller must ``Advance``."""
+        ov = self.cfg.overheads
+        nominal = ov.ckpt_lock + ov.commit_phase
+        if self.cfg.lambda_frames:
+            nominal += ov.lambda_frames
+        nominal += ov.vreq_bookkeeping * vreq_ops
+        if pt2pt:
+            nominal += ov.counter_update
+            # local-to-global rank translation helper (Section III-I.3)
+            lower_calls += (
+                ov.rank_helper_lh_calls if self.cfg.multi_call_rank_helper else 1
+            )
+        cost = self.machine.mana_sw_time(nominal)
+        cost += lower_half_call_cost(self.cfg, self.machine, lower_calls)
+        cost += lookup_cost
+        st = self.mrank.stats
+        st.overhead_time += cost
+        st.lower_half_calls += lower_calls
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "lower_half_costing", "charge", rank=self.mrank.rank,
+                cost=cost, lower_calls=lower_calls, vreq_ops=vreq_ops,
+            )
+        return cost

@@ -1,0 +1,58 @@
+"""TwoPhaseGate: the checkpoint-prologue stage.
+
+Everything the two-phase commit asks of a wrapper at its entry — the
+``maybe_checkin`` safe point of non-collective calls, the horizon gate
+of blocking collectives (Section III-K), and the blocked-wait check-in
+policy of polling loops — funnels through this one stage object, so the
+rest of the pipeline never touches the 2PC flags directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mana.runtime import ManaRank, RankPhase
+from repro.mana.twophase import checkin, coll_prologue, maybe_checkin
+
+
+class TwoPhaseGate:
+    """Per-rank gate stage."""
+
+    def __init__(self, mrank: ManaRank):
+        self.mrank = mrank
+        cfg = mrank.rt.cfg
+        #: polls between blocked-wait check-ins once an intent arrives
+        self.blocked_poll_budget = cfg.blocked_poll_budget
+        #: fruitless polls before a wait loop parks idle
+        self.idle_poll_limit = cfg.idle_poll_limit
+
+    # ------------------------------------------------------------------
+    @property
+    def intent_pending(self) -> bool:
+        """A checkpoint intent is active and we are not already inside
+        the checkpoint cycle — the condition every polling loop tests."""
+        mrank = self.mrank
+        return mrank.intent and mrank.phase is not RankPhase.IN_CKPT
+
+    def must_checkin_blocked(self, polls: int) -> bool:
+        """Blocked-wait policy: check in immediately before a release
+        directive arrives; afterwards, only every ``blocked_poll_budget``
+        polls (so the coordinator still hears from a blocked rank)."""
+        return self.mrank.release_mode is None or polls >= self.blocked_poll_budget
+
+    # ------------------------------------------------------------------
+    def entry(self, name: str):
+        """Non-collective wrapper entry safe point."""
+        yield from maybe_checkin(self.mrank, name)
+
+    def collective(self, gid: int, opname: str):
+        """Blocking-collective entry: the horizon gate."""
+        yield from coll_prologue(self.mrank, gid, opname)
+
+    def blocked(self, opname: str):
+        """Check in from inside a blocked polling loop."""
+        yield from checkin(self.mrank, "blocked_pt2pt", pending=opname)
+
+    def checkin(self, kind: str, **extra: Any):
+        """Raw check-in (finalize handshake and friends)."""
+        yield from checkin(self.mrank, kind, **extra)

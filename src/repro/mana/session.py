@@ -137,6 +137,7 @@ class ManaSession:
         machine: MachineSpec = TESTBOX,
         cfg: Optional[ManaConfig] = None,
         reexec_images: Optional[list] = None,
+        trace_sink: Optional[Any] = None,
     ):
         self.nranks = nranks
         self.program_factory = program_factory
@@ -147,6 +148,10 @@ class ManaSession:
         self._reexec_images = reexec_images
 
         self.sched = Scheduler()
+        if trace_sink is not None:
+            # arm the trace-event spine: every layer (scheduler, network,
+            # lower half, pipeline stages) emits into this sink
+            self.sched.tracer.set_sink(trace_sink)
         self.network = Network(self.sched, machine, nranks)
         self.oob = OobChannel(self.sched)
         self.rt = ManaRuntime(
@@ -259,7 +264,10 @@ class ManaSession:
             self.sched.spawn(
                 self.deadlock_monitor.body(), "deadlock-monitor", daemon=True
             )
-        self.sched.run(until=until)
+        try:
+            self.sched.run(until=until)
+        finally:
+            self.sched.tracer.close()  # flush any attached trace sink
         if until is None:
             unfinished = self.sched.unfinished()
             if unfinished:

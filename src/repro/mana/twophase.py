@@ -78,10 +78,17 @@ def checkin(mrank: ManaRank, kind: str, **extra: Any):
     from repro.mana.checkpoint import run_checkpoint_cycle  # cycle at runtime
 
     mrank.stats.checkins += 1
+    tracer = mrank.rt.sched.tracer
+    if tracer.enabled:
+        tracer.emit("two_phase_gate", "checkin", rank=mrank.rank,
+                    checkin_kind=kind, **extra)
     mrank.report_state(kind, **extra)
     directive = yield from mrank.park_for_directive(
         f"checkin({kind}) rank {mrank.rank}"
     )
+    if tracer.enabled:
+        tracer.emit("two_phase_gate", "directive", rank=mrank.rank,
+                    directive=directive[0])
     if directive[0] == "continue":
         mrank.phase = RankPhase.RUNNING
         return

@@ -1,57 +1,44 @@
 """The MANA wrapper library — the "stub MPI library" of the upper half.
 
-Every method reproduces the structure of the paper's Figure 1 wrapper:
+Every public method is one MPI entry point of the paper's Figure 1
+wrapper.  The per-call logic lives in the layered interposition
+pipeline (:mod:`repro.mana.pipeline`): a declarative registry row per
+call, lowered through five composable stages —
 
-* two-phase-commit prologue (check in with the coordinator if a
-  checkpoint intent is active; for blocking collectives, the horizon
-  gate of Section III-K),
-* virtual-to-real translation through the costed ID tables,
-* a costed context switch into the lower half (FS register,
-  Section III-G) — with the per-call overhead knobs of Sections
-  III-H/III-I (lambda frames, multi-call rank helper, lock pair),
-* the semantic conversions of Section III item 1: ``MPI_Send`` becomes
+* :class:`~repro.mana.pipeline.gate.TwoPhaseGate` — the two-phase-commit
+  prologue (``maybe_checkin`` safe points, the horizon gate of Section
+  III-K, blocked-wait check-in policy),
+* :class:`~repro.mana.pipeline.virtualization.Virtualization` — virtual
+  to real translation through the costed ID tables (Section III-A),
+* :class:`~repro.mana.pipeline.costing.LowerHalfCosting` — the costed
+  context switch into the lower half (FS register, Section III-G) plus
+  the per-call overhead knobs of Sections III-H/III-I,
+* :class:`~repro.mana.pipeline.accounting.DrainAccounting` — per-pair
+  byte counting for the drain (Section III-B),
+* :class:`~repro.mana.pipeline.lowering.SemanticLowering` — the
+  semantic conversions of Section III item 1 (``MPI_Send`` becomes
   ``MPI_Isend`` + test, ``MPI_Recv``/``MPI_Wait`` become ``MPI_Test``
-  polling loops (so the process is never parked inside the lower half
-  on a point-to-point operation), ``MPI_Alloc_mem`` becomes an
-  upper-half allocation,
-* per-pair byte counting for the drain (Section III-B), request
-  virtualization with two-step retirement (Section III-A), and the
-  non-blocking-collective log (Section III-I item 4).
+  polling loops, ``MPI_Alloc_mem`` becomes an upper-half allocation)
+  and the non-blocking-collective log (Section III-I item 4).
+
+This module deliberately imports neither ``fsreg`` nor ``counters``:
+costing and drain accounting are reachable only through their stages
+(``tools/check_layering.py`` enforces this).
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.des.syscalls import Advance, Park
-from repro.errors import ManaError, MpiError, UnsupportedMpiFeature
-from repro.mana import collective_impl as alt
-from repro.mana.comms import CreationRecord
-from repro.mana.config import CollectiveMode, ManaConfig
-from repro.mana.fsreg import lower_half_call_cost
+from repro.des.syscalls import Advance
+from repro.errors import UnsupportedMpiFeature
+from repro.mana.api import COLLECTIVE_OPS, PT2PT_OPS
+from repro.mana.config import ManaConfig
 from repro.mana.handles import RequestSlot
-from repro.mana.icoll_log import IcollRecord
-from repro.mana.requests import NullMark, VReqEntry, VReqKind
+from repro.mana.pipeline import Pipeline
 from repro.mana.runtime import ManaRank, RankPhase
-from repro.mana.twophase import checkin, coll_prologue, maybe_checkin
-from repro.simmpi.constants import (
-    ANY_SOURCE,
-    ANY_TAG,
-    COMM_NULL,
-    PROC_NULL,
-    REQUEST_NULL,
-)
+from repro.simmpi.constants import ANY_SOURCE, ANY_TAG
 from repro.simmpi.ops import SUM, ReductionOp
-from repro.simmpi.request import RealPersistentRequest, RealRequest, RequestKind
-from repro.util.serde import payload_nbytes
-from repro.mana.api import COLLECTIVE_OPS, PT2PT_OPS, validate_tag
-
-#: polls between blocked-wait check-ins once a checkpoint intent arrives
-BLOCKED_POLL_BUDGET = 16
-
-#: fruitless polls before a wait loop parks idle (endpoint nudges it back)
-IDLE_POLL_LIMIT = 3
 
 
 class UpperHalfMemory:
@@ -82,6 +69,7 @@ class ManaApi:
         self.replay_log = None  # REEXEC recording, attached by the session
         self._call_seq = 0      # public wrapper-call counter (REEXEC)
         self._uh_mem: Dict[int, UpperHalfMemory] = {}
+        self._pipe = Pipeline(self)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -110,39 +98,6 @@ class ManaApi:
         elif name in PT2PT_OPS:
             st.pt2pt_calls += 1
 
-    def _wrapper_cost(
-        self,
-        lower_calls: int = 1,
-        lookup_cost: float = 0.0,
-        vreq_ops: int = 0,
-        pt2pt: bool = False,
-    ) -> float:
-        """One wrapper invocation's modeled software cost (Fig. 1 body)."""
-        ov = self.cfg.overheads
-        nominal = ov.ckpt_lock + ov.commit_phase
-        if self.cfg.lambda_frames:
-            nominal += ov.lambda_frames
-        nominal += ov.vreq_bookkeeping * vreq_ops
-        if pt2pt:
-            nominal += ov.counter_update
-            # local-to-global rank translation helper (Section III-I.3)
-            lower_calls += (
-                ov.rank_helper_lh_calls if self.cfg.multi_call_rank_helper else 1
-            )
-        cost = self.machine.mana_sw_time(nominal)
-        cost += lower_half_call_cost(self.cfg, self.machine, lower_calls)
-        cost += lookup_cost
-        st = self.mrank.stats
-        st.overhead_time += cost
-        st.lower_half_calls += lower_calls
-        return cost
-
-    def _lookup_comm(self, comm: Optional[int]):
-        if comm is None:
-            comm = self.COMM_WORLD
-        real, cost = self.mrank.vcomms.lookup(comm)
-        return comm, real, cost
-
     def comm_rank(self, comm: Optional[int] = None) -> int:
         if comm is None:
             comm = self.COMM_WORLD
@@ -169,862 +124,220 @@ class ManaApi:
     # point-to-point
     # ------------------------------------------------------------------
     def isend(self, data, dest, tag: int = 0, comm: Optional[int] = None):
-        self._count("isend")
-        yield from maybe_checkin(self.mrank, "isend")
-        dest = self._resolve(dest)
-        tag = self._resolve(tag)
-        validate_tag(tag)
-        slot = yield from self._isend_impl(data, dest, tag, comm)
+        slot = yield from self._pipe.call("isend", data, dest, tag, comm)
         return slot
 
-    def _isend_impl(self, data, dest, tag, comm: Optional[int],
-                    internal: bool = False):
-        if not internal:
-            validate_tag(tag)
-        vid, real, lc = self._lookup_comm(comm)
-        vreq_ops = 1 if self.cfg.virtualize_requests else 0
-        yield Advance(
-            self._wrapper_cost(lower_calls=1, lookup_cost=lc,
-                               vreq_ops=vreq_ops, pt2pt=True)
-        )
-        req = yield from self._lib.isend(self._task, real, dest, tag, data)
-        if dest is not PROC_NULL:
-            dst_world = real.world_rank(dest)
-            self.mrank.counters.on_send(dst_world, payload_nbytes(data))
-        if self.cfg.virtualize_requests:
-            entry, _c = self.mrank.vreqs.create(
-                VReqKind.ISEND, vid, real=req, peer=dest, tag=tag,
-                created_call=self._call_seq,
-            )
-            return RequestSlot(entry.vid)
-        return RequestSlot(req)
-
     def send(self, data, dest, tag: int = 0, comm: Optional[int] = None):
-        """MPI_Send, decomposed into Isend + Test (Section III item 1).
-
-        The eager lower half completes sends locally, so one test
-        suffices; the request is retired immediately."""
-        self._count("send")
-        yield from maybe_checkin(self.mrank, "send")
-        dest = self._resolve(dest)
-        tag = self._resolve(tag)
-        validate_tag(tag)
-        slot = yield from self._isend_impl(data, dest, tag, comm)
-        flag, _payload, _st = yield from self._test_once(slot)
-        if not flag:
-            raise ManaError("eager send did not complete locally")
+        yield from self._pipe.call("send", data, dest, tag, comm)
         return None
 
     def irecv(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        self._count("irecv")
-        yield from maybe_checkin(self.mrank, "irecv")
-        slot = yield from self._irecv_impl(source, tag, comm)
+        slot = yield from self._pipe.call("irecv", source, tag, comm)
         return slot
 
-    def _irecv_impl(self, source, tag, comm: Optional[int],
-                    internal: bool = False):
-        source = self._resolve(source)
-        tag = self._resolve(tag)
-        if not internal:
-            validate_tag(tag)
-        vid, real, lc = self._lookup_comm(comm)
-        if not self.cfg.virtualize_requests:
-            yield Advance(self._wrapper_cost(1, lc, 0, pt2pt=True))
-            req = self._lib.irecv(self._task, real, source, tag)
-            return RequestSlot(req)
-        yield Advance(self._wrapper_cost(1, lc, 1, pt2pt=True))
-        # consult the drained-message buffer first: bytes drained at the
-        # last checkpoint must be delivered before fresh lower-half ones
-        src_world = (
-            source if source in (ANY_SOURCE, PROC_NULL)
-            else real.world_rank(source)
-        )
-        hit = (
-            None if source is PROC_NULL
-            else self.mrank.drain_buffer.match(vid, src_world, tag)
-        )
-        entry, _c = self.mrank.vreqs.create(
-            VReqKind.IRECV, vid, real=None, peer=source, tag=tag,
-            created_call=self._call_seq,
-        )
-        if hit is not None:
-            payload, st = hit
-            st = self._lib.status_for_user(real, st)
-            entry.real = NullMark(payload, st)
-        else:
-            entry.real = self._lib.irecv(self._task, real, source, tag)
-        return RequestSlot(entry.vid)
-
     def recv(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        """MPI_Recv as Irecv + Test polling (never blocks in the lower
-        half, so a checkpoint can interpose between polls)."""
-        self._count("recv")
-        yield from maybe_checkin(self.mrank, "recv")
-        slot = yield from self._irecv_impl(source, tag, comm)
-        payload, status = yield from self._wait_impl(slot, "recv")
+        payload, status = yield from self._pipe.call("recv", source, tag, comm)
         return payload, status
-
-    # ------------------------------------------------------------------
-    def _test_once(self, slot: RequestSlot):
-        """One MPI_Test through the tables; no check-in, no polling."""
-        if slot.is_null:
-            yield Advance(0.0)
-            return True, None, None
-        if not self.cfg.virtualize_requests:
-            # original MANA: the application's slot holds the raw
-            # lower-half request — which is why a restart with pending
-            # requests cannot work without virtualization (Section III-A)
-            req = slot.value
-            yield Advance(self._wrapper_cost(1))
-            flag, payload = self._lib.test(self._task, req)
-            if flag:
-                st = req.status
-                if req.kind.value == "recv" and st is not None:
-                    self.mrank.counters.on_receive(st.source, st.count)
-                slot.value = REQUEST_NULL
-                return True, payload, st
-            return False, None, None
-
-        entry, lc = self.mrank.vreqs.lookup(slot.value)
-        yield Advance(self._wrapper_cost(1, lookup_cost=lc))
-        if entry.kind in (VReqKind.PSEND, VReqKind.PRECV):
-            result = yield from self._test_persistent(entry)
-            return result
-        if isinstance(entry.real, NullMark):
-            # two-step retirement, step two (Section III-A): the request
-            # completed internally; now that the application handed us
-            # its slot, finish the retirement
-            payload, st = entry.real.payload, entry.real.status
-            self.mrank.vreqs.retire(entry)
-            slot.value = REQUEST_NULL
-            return True, payload, st
-        req = entry.real
-        if req is None:
-            raise ManaError(f"vreq {entry.vid} has no lower-half request bound")
-        flag, payload = self._lib.test(self._task, req)
-        if not flag:
-            return False, None, None
-        st = req.status
-        vid_comm = entry.comm_vid
-        if entry.kind is VReqKind.IRECV and st is not None:
-            if not entry.drain_counted:
-                self.mrank.counters.on_receive(st.source, st.count)
-            real_comm, _ = self.mrank.vcomms.lookup(vid_comm)
-            st = self._lib.status_for_user(real_comm, st)
-        self.mrank.vreqs.retire(entry)
-        slot.value = REQUEST_NULL
-        return True, payload, st
-
-    def _test_persistent(self, entry: VReqEntry):
-        """Test a persistent entry: the slot is never nulled (the request
-        is reusable until MPI_Request_free)."""
-        if entry.p_staged is not None:
-            payload, st = entry.p_staged
-            entry.p_staged = None
-            entry.p_active = False
-            entry.real.active = False
-            entry.drain_counted = False  # next cycle counts afresh
-            yield Advance(0.0)
-            return True, payload, st
-        if not entry.p_active:
-            yield Advance(0.0)
-            return True, None, None  # inactive persistent: MPI says done
-        flag, payload = self._lib.test(self._task, entry.real)
-        if not flag:
-            return False, None, None
-        st = entry.real.current.status
-        if entry.kind is VReqKind.PRECV and st is not None:
-            if not entry.drain_counted:
-                self.mrank.counters.on_receive(st.source, st.count)
-            real_comm, _ = self.mrank.vcomms.lookup(entry.comm_vid)
-            st = self._lib.status_for_user(real_comm, st)
-        entry.p_active = False
-        entry.drain_counted = False
-        return True, payload, st
-
-    def test(self, slot: RequestSlot):
-        self._count("test")
-        yield from maybe_checkin(self.mrank, "test")
-        result = yield from self._test_once(slot)
-        return result
-
-    def _wait_impl(self, slot: RequestSlot, opname: str):
-        """MPI_Wait as a loop around MPI_Test (Section III item 1).
-
-        After a few fruitless polls the process parks until either the
-        request completes (the endpoint nudges it) or a checkpoint
-        intent arrives (the checkpoint thread nudges it) — modeling
-        MANA's test loop without simulating every idle poll, and keeping
-        application deadlocks detectable as deadlocks.
-        """
-        ov = self.cfg.overheads
-        sched = self.rt.sched
-        polls = 0
-        if self.cfg.virtualize_requests and not slot.is_null:
-            entry, _c = self.mrank.vreqs.lookup(slot.value)
-            self.mrank.current_wait = ("request", entry)
-        try:
-            result = yield from self._wait_loop(slot, opname, sched, ov, polls)
-            return result
-        finally:
-            self.mrank.current_wait = None
-
-    def _wait_loop(self, slot, opname, sched, ov, polls):
-        while True:
-            flag, payload, st = yield from self._test_once(slot)
-            if flag:
-                return payload, st
-            polls += 1
-            if self.mrank.intent and self.mrank.phase is not RankPhase.IN_CKPT:
-                if self.mrank.release_mode is None or polls >= BLOCKED_POLL_BUDGET:
-                    yield from checkin(
-                        self.mrank, "blocked_pt2pt", pending=opname
-                    )
-                    polls = 0
-                    continue
-                # while a checkpoint is pending, keep polling (never
-                # idle-park): the blocked-checkin budget must be reached
-                # so the coordinator hears from us
-                yield Advance(self.machine.mana_sw_time(ov.wait_poll_gap))
-                continue
-            if polls < IDLE_POLL_LIMIT:
-                yield Advance(self.machine.mana_sw_time(ov.wait_poll_gap))
-                continue
-            # idle-park until completion or a checkpoint-intent nudge
-            req = self._pending_real_request(slot)
-            if req is None or req.done:
-                yield Advance(self.machine.mana_sw_time(ov.wait_poll_gap))
-                continue
-            proc = self._task.proc
-            req.waiter = proc
-            if req.kind is RequestKind.COLL:
-                req.on_complete(lambda _r, p=proc: sched.try_wake(p))
-            self.mrank.idle_wait_parked = True
-            yield Park(f"MPI_Wait({opname}) poll-idle rank {self.mrank.rank}")
-            self.mrank.idle_wait_parked = False
-            req.waiter = None
-
-    def _pending_real_request(self, slot: RequestSlot):
-        """The lower-half request behind a slot, if it is still pending."""
-        if slot.is_null:
-            return None
-        if not self.cfg.virtualize_requests:
-            return slot.value if isinstance(slot.value, RealRequest) else None
-        entry, _cost = self.mrank.vreqs.lookup(slot.value)
-        if entry.kind in (VReqKind.PSEND, VReqKind.PRECV):
-            if entry.p_active and entry.p_staged is None and isinstance(
-                entry.real, RealPersistentRequest
-            ):
-                return entry.real.current
-            return None
-        return entry.real if isinstance(entry.real, RealRequest) else None
-
-    def wait(self, slot: RequestSlot):
-        self._count("wait")
-        result = yield from self._wait_impl(slot, "wait")
-        return result
-
-    def waitall(self, slots: Sequence[RequestSlot]):
-        self._count("waitall")
-        out = []
-        for slot in slots:
-            result = yield from self._wait_impl(slot, "waitall")
-            out.append(result)
-        return out
-
-    def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        self._count("iprobe")
-        yield from maybe_checkin(self.mrank, "iprobe")
-        source = self._resolve(source)
-        tag = self._resolve(tag)
-        vid, real, lc = self._lookup_comm(comm)
-        yield Advance(self._wrapper_cost(1, lc))
-        # drained messages are as probe-able as unexpected-queue ones
-        for m in self.mrank.drain_buffer.snapshot():
-            if m.comm_vid != vid:
-                continue
-            if source is not ANY_SOURCE and real.world_rank(source) != m.src_world:
-                continue
-            if tag is not ANY_TAG and tag != m.tag:
-                continue
-            from repro.simmpi.constants import Status
-            st = self._lib.status_for_user(
-                real, Status(source=m.src_world, tag=m.tag, count=m.nbytes)
-            )
-            return True, st
-        flag, st = self._lib.iprobe(self._task, real, source, tag)
-        return flag, st
-
-    def _peek_done(self, slot: RequestSlot) -> bool:
-        """Non-consuming completion check (MPI_Request_get_status-like)."""
-        if slot.is_null:
-            return True
-        if not self.cfg.virtualize_requests:
-            return slot.value.done
-        entry, _c = self.mrank.vreqs.lookup(slot.value)
-        if entry.kind in (VReqKind.PSEND, VReqKind.PRECV):
-            if entry.p_staged is not None or not entry.p_active:
-                return True
-            cur = entry.real.current if isinstance(
-                entry.real, RealPersistentRequest) else None
-            return cur is not None and cur.done
-        if isinstance(entry.real, NullMark):
-            return True
-        return isinstance(entry.real, RealRequest) and entry.real.done
 
     def sendrecv(self, senddata, dest, sendtag: int = 0, source=ANY_SOURCE,
                  recvtag=ANY_TAG, comm: Optional[int] = None):
-        """MPI_Sendrecv: the send is non-blocking-converted first, so the
-        pair can never deadlock (Section III item 1 applies to both)."""
-        self._count("sendrecv")
-        yield from maybe_checkin(self.mrank, "sendrecv")
-        dest = self._resolve(dest)
-        send_slot = yield from self._isend_impl(senddata, dest, sendtag, comm)
-        recv_slot = yield from self._irecv_impl(source, recvtag, comm)
-        data, status = yield from self._wait_impl(recv_slot, "sendrecv")
-        flag, _p, _s = yield from self._test_once(send_slot)
-        if not flag:
-            raise ManaError("eager sendrecv send did not complete locally")
+        data, status = yield from self._pipe.call(
+            "sendrecv", senddata, dest, sendtag, source, recvtag, comm
+        )
         return data, status
 
+    def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
+        flag, st = yield from self._pipe.call("iprobe", source, tag, comm)
+        return flag, st
+
     def probe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        """Blocking probe, converted to an Iprobe polling loop (so the
-        process is never parked inside the lower half)."""
-        self._count("probe")
-        polls = 0
-        while True:
-            flag, status = yield from self.iprobe(source, tag, comm)
-            if flag:
-                return status
-            polls += 1
-            if self.mrank.intent and self.mrank.phase is not RankPhase.IN_CKPT:
-                if (self.mrank.release_mode is None
-                        or polls >= BLOCKED_POLL_BUDGET):
-                    yield from checkin(self.mrank, "blocked_pt2pt",
-                                       pending="probe")
-                    polls = 0
-                    continue
-            yield Advance(self.machine.mana_sw_time(
-                self.cfg.overheads.wait_poll_gap))
+        status = yield from self._pipe.call("probe", source, tag, comm)
+        return status
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def test(self, slot: RequestSlot):
+        result = yield from self._pipe.call("test", slot)
+        return result
+
+    def wait(self, slot: RequestSlot):
+        result = yield from self._pipe.call("wait", slot)
+        return result
+
+    def waitall(self, slots: Sequence[RequestSlot]):
+        result = yield from self._pipe.call("waitall", slots)
+        return result
 
     def waitany(self, slots: Sequence[RequestSlot]):
-        """MPI_Waitany as a Test polling loop over the whole set."""
-        self._count("waitany")
-        sched = self.rt.sched
-        polls = 0
-        if self.cfg.virtualize_requests:
-            entries = []
-            for slot_ in slots:
-                if not slot_.is_null:
-                    e, _c = self.mrank.vreqs.lookup(slot_.value)
-                    entries.append(e)
-            self.mrank.current_wait = ("requests", entries)
-        try:
-            result = yield from self._waitany_loop(slots, sched, polls)
-            return result
-        finally:
-            self.mrank.current_wait = None
-
-    def _waitany_loop(self, slots, sched, polls):
-        while True:
-            if all(s.is_null for s in slots):
-                yield Advance(0.0)
-                return None, None, None
-            for i, slot in enumerate(slots):
-                if not slot.is_null and self._peek_done(slot):
-                    flag, payload, st = yield from self._test_once(slot)
-                    if flag:
-                        return i, payload, st
-            polls += 1
-            if self.mrank.intent and self.mrank.phase is not RankPhase.IN_CKPT:
-                if (self.mrank.release_mode is None
-                        or polls >= BLOCKED_POLL_BUDGET):
-                    yield from checkin(self.mrank, "blocked_pt2pt",
-                                       pending="waitany")
-                    polls = 0
-                    continue
-                yield Advance(self.machine.mana_sw_time(
-                    self.cfg.overheads.wait_poll_gap))
-                continue
-            if polls < IDLE_POLL_LIMIT:
-                yield Advance(self.machine.mana_sw_time(
-                    self.cfg.overheads.wait_poll_gap))
-                continue
-            # idle-park on every still-pending lower-half request
-            reqs = []
-            proc = self._task.proc
-            for slot in slots:
-                req = self._pending_real_request(slot)
-                if req is not None and not req.done:
-                    req.waiter = proc
-                    if req.kind is RequestKind.COLL:
-                        req.on_complete(lambda _r, p=proc: sched.try_wake(p))
-                    reqs.append(req)
-            if not reqs:
-                yield Advance(self.machine.mana_sw_time(
-                    self.cfg.overheads.wait_poll_gap))
-                continue
-            self.mrank.idle_wait_parked = True
-            yield Park(f"MPI_Waitany poll-idle rank {self.mrank.rank}")
-            self.mrank.idle_wait_parked = False
-            for req in reqs:
-                req.waiter = None
+        result = yield from self._pipe.call("waitany", slots)
+        return result
 
     def testany(self, slots: Sequence[RequestSlot]):
-        """MPI_Testany: consume one completed request if any."""
-        self._count("testany")
-        yield from maybe_checkin(self.mrank, "testany")
-        for i, slot in enumerate(slots):
-            if not slot.is_null and self._peek_done(slot):
-                flag, payload, st = yield from self._test_once(slot)
-                if flag:
-                    return True, i, payload, st
-        yield Advance(self._wrapper_cost(1))
-        return False, None, None, None
+        result = yield from self._pipe.call("testany", slots)
+        return result
 
     def testall(self, slots: Sequence[RequestSlot]):
-        """MPI_Testall: all-or-nothing consumption, as the standard
-        requires — nothing is freed unless every request is complete."""
-        self._count("testall")
-        yield from maybe_checkin(self.mrank, "testall")
-        if not all(self._peek_done(s) for s in slots):
-            yield Advance(self._wrapper_cost(1))
-            return False, None
-        out = []
-        for slot in slots:
-            if slot.is_null:
-                out.append((None, None))
-                continue
-            flag, payload, st = yield from self._test_once(slot)
-            assert flag
-            out.append((payload, st))
-        return True, out
+        result = yield from self._pipe.call("testall", slots)
+        return result
 
     # ------------------------------------------------------------------
     # persistent point-to-point (MPI_Send_init / MPI_Recv_init / Start)
     # ------------------------------------------------------------------
     def send_init(self, data, dest, tag: int = 0, comm: Optional[int] = None):
-        """MPI_Send_init: a virtualized *persistent* request.  Exempt
-        from two-step retirement until MPI_Request_free; recreated on the
-        fresh lower half at restart from MANA's record."""
-        self._count("send_init")
-        yield from maybe_checkin(self.mrank, "send_init")
-        dest = self._resolve(dest)
-        tag = self._resolve(tag)
-        validate_tag(tag)
-        vid, real_comm, lc = self._lookup_comm(comm)
-        yield Advance(self._wrapper_cost(1, lc, vreq_ops=1, pt2pt=True))
-        preq = self._lib.send_init(self._task, real_comm, dest, tag, buf=data)
-        entry, _c = self.mrank.vreqs.create(
-            VReqKind.PSEND, vid, real=preq, peer=dest, tag=tag,
-            created_call=self._call_seq,
-        )
-        entry.p_buf = data
-        return RequestSlot(entry.vid)
+        slot = yield from self._pipe.call("send_init", data, dest, tag, comm)
+        return slot
 
     def recv_init(self, source=ANY_SOURCE, tag=ANY_TAG,
                   comm: Optional[int] = None):
-        self._count("recv_init")
-        yield from maybe_checkin(self.mrank, "recv_init")
-        source = self._resolve(source)
-        tag = self._resolve(tag)
-        validate_tag(tag)
-        vid, real_comm, lc = self._lookup_comm(comm)
-        yield Advance(self._wrapper_cost(1, lc, vreq_ops=1, pt2pt=True))
-        preq = self._lib.recv_init(self._task, real_comm, source, tag)
-        entry, _c = self.mrank.vreqs.create(
-            VReqKind.PRECV, vid, real=preq, peer=source, tag=tag,
-            created_call=self._call_seq,
-        )
-        return RequestSlot(entry.vid)
+        slot = yield from self._pipe.call("recv_init", source, tag, comm)
+        return slot
 
     def start(self, slot: RequestSlot, data=None):
-        """MPI_Start: launch one cycle of a persistent request."""
-        self._count("start")
-        yield from maybe_checkin(self.mrank, "start")
-        entry, lc = self.mrank.vreqs.lookup(slot.value)
-        if entry.kind not in (VReqKind.PSEND, VReqKind.PRECV):
-            raise MpiError("MPI_Start on a non-persistent request")
-        yield Advance(self._wrapper_cost(1, lc, pt2pt=True))
-        real_comm, _ = self.mrank.vcomms.lookup(entry.comm_vid)
-        if entry.kind is VReqKind.PRECV:
-            # a previously drained message for this (comm, source, tag)
-            # satisfies the new cycle immediately
-            src_world = (
-                entry.peer if entry.peer is ANY_SOURCE
-                else real_comm.world_rank(entry.peer)
-            )
-            hit = self.mrank.drain_buffer.match(
-                entry.comm_vid, src_world, entry.tag
-            )
-            if hit is not None:
-                payload, st = hit
-                entry.p_staged = (
-                    payload, self._lib.status_for_user(real_comm, st)
-                )
-                entry.p_active = True
-                entry.drain_counted = True  # counted when drained
-                return None
-        if data is not None:
-            entry.p_buf = data
-        yield from self._lib.start(self._task, entry.real, data)
-        entry.p_active = True
-        if entry.kind is VReqKind.PSEND and entry.peer is not PROC_NULL:
-            payload = data if data is not None else entry.p_buf
-            dst_world = real_comm.world_rank(entry.peer)
-            self.mrank.counters.on_send(dst_world, payload_nbytes(payload))
+        yield from self._pipe.call("start", slot, data)
         return None
 
     def request_free(self, slot: RequestSlot):
-        """MPI_Request_free: the only retirement point for persistent
-        requests (Section III-A's GC question does not apply to them)."""
-        self._count("request_free")
-        yield from maybe_checkin(self.mrank, "request_free")
-        entry, lc = self.mrank.vreqs.lookup(slot.value)
-        yield Advance(self._wrapper_cost(1, lc, vreq_ops=1))
-        if isinstance(entry.real, RealPersistentRequest):
-            self._lib.request_free(self._task, entry.real)
-        self.mrank.vreqs.retire(entry)
-        slot.value = REQUEST_NULL
+        yield from self._pipe.call("request_free", slot)
 
     # ------------------------------------------------------------------
     # internal pt2pt for the alternative collective implementation
     # (reserved tag space, full MANA accounting, check-ins allowed)
     # ------------------------------------------------------------------
     def _internal_isend(self, comm_vid: int, dest: int, tag: int, data):
-        slot = yield from self._isend_impl(data, dest, tag, comm_vid, internal=True)
-        flag, _p, _s = yield from self._test_once(slot)
-        if not flag:
-            raise ManaError("internal eager send did not complete")
+        yield from self._pipe.lower.internal_isend(comm_vid, dest, tag, data)
 
     def _internal_recv(self, comm_vid: int, source: int, tag: int):
-        slot = yield from self._irecv_impl(source, tag, comm_vid, internal=True)
-        payload, st = yield from self._wait_impl(slot, "alt-collective recv")
+        payload, st = yield from self._pipe.lower.internal_recv(
+            comm_vid, source, tag
+        )
         return payload, st
 
     # ------------------------------------------------------------------
     # blocking collectives
     # ------------------------------------------------------------------
-    def _blocking_collective(self, opname: str, comm: Optional[int],
-                             lib_call, alt_call):
-        """Shared two-phase-commit skeleton for blocking collectives."""
-        self._count(opname)
-        vid, real, lc = self._lookup_comm(comm)
-        meta = self.mrank.vcomms.meta[vid]
-        mode = self.cfg.collective_mode
-
-        if mode is CollectiveMode.PT2PT_ALWAYS and alt_call is not None:
-            # Section III-E alternative: run above the lower half; a
-            # checkpoint may land mid-collective and the drain captures it
-            me = meta.world_ranks.index(self.mrank.rank)
-            p = len(meta.world_ranks)
-            seq = meta.mana_coll_seq
-            meta.mana_coll_seq += 1
-            yield Advance(self._wrapper_cost(0, lc))
-            result = yield from alt_call(vid, me, p, seq)
-            return result
-
-        gid = meta.gid
-        yield from coll_prologue(self.mrank, gid, opname)
-        # re-translate AFTER the prologue: a checkpoint/restart may have
-        # parked us there and replaced the lower half, rebinding the
-        # virtual communicator to a brand-new real one
-        _vid, real, lc = self._lookup_comm(comm)
-        yield Advance(self._wrapper_cost(1, lc))
-        inst = self.mrank.blocking_counts.get(gid, 0)
-        self.mrank.in_lower = (gid, inst)
-        if self.mrank.intent:
-            self.mrank.report_state("in_lower", gid=gid, instance=inst)
-        try:
-            if mode is CollectiveMode.BARRIER_ALWAYS:
-                # the original MANA's two-phase commit: a real barrier in
-                # front of every collective (Sections III-D/III-E)
-                yield from self._lib.barrier(self._task, real)
-            result = yield from lib_call(real)
-        finally:
-            self.mrank.in_lower = None
-        self.mrank.blocking_counts[gid] = inst + 1
-        if self.mrank.intent:
-            self.mrank.report_state("running")
-        return result
-
     def barrier(self, comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "barrier", comm,
-            lambda real: self._lib.barrier(self._task, real),
-            lambda vid, me, p, seq: alt.barrier(self, vid, me, p, seq),
-        )
+        result = yield from self._pipe.call("barrier", comm, {})
         return result
 
     def bcast(self, data, root: int = 0, comm: Optional[int] = None):
         data = self._resolve(data)
-        result = yield from self._blocking_collective(
-            "bcast", comm,
-            lambda real: self._lib.bcast(self._task, real, data, root),
-            lambda vid, me, p, seq: alt.bcast(self, vid, me, p, data, root, seq),
+        result = yield from self._pipe.call(
+            "bcast", comm, {"data": data, "root": root}
         )
         return result
 
     def reduce(self, data, op: ReductionOp = SUM, root: int = 0,
                comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "reduce", comm,
-            lambda real: self._lib.reduce(self._task, real, data, op, root),
-            lambda vid, me, p, seq: alt.reduce_(self, vid, me, p, data, op, root, seq),
+        result = yield from self._pipe.call(
+            "reduce", comm, {"data": data, "op": op, "root": root}
         )
         return result
 
     def allreduce(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "allreduce", comm,
-            lambda real: self._lib.allreduce(self._task, real, data, op),
-            lambda vid, me, p, seq: alt.allreduce(self, vid, me, p, data, op, seq),
+        result = yield from self._pipe.call(
+            "allreduce", comm, {"data": data, "op": op}
         )
         return result
 
     def gather(self, data, root: int = 0, comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "gather", comm,
-            lambda real: self._lib.gather(self._task, real, data, root),
-            lambda vid, me, p, seq: alt.gather(self, vid, me, p, data, root, seq),
+        result = yield from self._pipe.call(
+            "gather", comm, {"data": data, "root": root}
         )
         return result
 
     def scatter(self, data, root: int = 0, comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "scatter", comm,
-            lambda real: self._lib.scatter(self._task, real, data, root),
-            lambda vid, me, p, seq: alt.scatter(self, vid, me, p, data, root, seq),
+        result = yield from self._pipe.call(
+            "scatter", comm, {"data": data, "root": root}
         )
         return result
 
     def allgather(self, data, comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "allgather", comm,
-            lambda real: self._lib.allgather(self._task, real, data),
-            lambda vid, me, p, seq: alt.allgather(self, vid, me, p, data, seq),
-        )
+        result = yield from self._pipe.call("allgather", comm, {"data": data})
         return result
 
     def alltoall(self, data: List[Any], comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "alltoall", comm,
-            lambda real: self._lib.alltoall(self._task, real, data),
-            lambda vid, me, p, seq: alt.alltoall(self, vid, me, p, data, seq),
-        )
+        result = yield from self._pipe.call("alltoall", comm, {"data": data})
         return result
 
     def scan(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "scan", comm,
-            lambda real: self._lib.scan(self._task, real, data, op),
-            lambda vid, me, p, seq: alt.scan(self, vid, me, p, data, op, seq),
+        result = yield from self._pipe.call(
+            "scan", comm, {"data": data, "op": op}
         )
         return result
 
     def reduce_scatter_block(self, data: List[Any], op: ReductionOp = SUM,
                              comm: Optional[int] = None):
-        result = yield from self._blocking_collective(
-            "reduce_scatter_block", comm,
-            lambda real: self._lib.reduce_scatter_block(self._task, real, data, op),
-            lambda vid, me, p, seq: alt.reduce_scatter_block(
-                self, vid, me, p, data, op, seq
-            ),
+        result = yield from self._pipe.call(
+            "reduce_scatter_block", comm, {"data": data, "op": op}
         )
         return result
 
     # ------------------------------------------------------------------
     # non-blocking collectives: log-and-replay (Section III-I item 4)
     # ------------------------------------------------------------------
-    def _icoll(self, opname: str, comm: Optional[int], record_args: dict,
-               issue):
-        if not self.cfg.virtualize_requests:
-            raise UnsupportedMpiFeature(
-                "the original MANA does not virtualize MPI_Request and "
-                "cannot support non-blocking collectives (Section III-A)"
-            )
-        self._count(opname)
-        yield from maybe_checkin(self.mrank, opname)
-        vid, real, lc = self._lookup_comm(comm)
-        yield Advance(self._wrapper_cost(1, lc, vreq_ops=1))
-        rec = IcollRecord(op=opname, comm_vid=vid, **record_args)
-        # snapshot the payload: replay after restart must resend the
-        # value as of issue time even if the app reused its buffer
-        rec.payload = copy.deepcopy(rec.payload)
-        idx = self.mrank.icoll_log.append(rec)
-        req = yield from issue(real)
-        entry, _c = self.mrank.vreqs.create(
-            VReqKind.ICOLL, vid, real=req, icoll_index=idx,
-            created_call=self._call_seq,
-        )
-        rec.vid = entry.vid
-        return RequestSlot(entry.vid)
-
     def ibarrier(self, comm: Optional[int] = None):
-        slot = yield from self._icoll(
-            "ibarrier", comm, {},
-            lambda real: self._lib.ibarrier(self._task, real),
-        )
+        slot = yield from self._pipe.call("ibarrier", comm, {})
         return slot
 
     def ibcast(self, data, root: int = 0, comm: Optional[int] = None):
-        slot = yield from self._icoll(
-            "ibcast", comm, {"payload": data, "root": root},
-            lambda real: self._lib.ibcast(self._task, real, data, root),
+        slot = yield from self._pipe.call(
+            "ibcast", comm, {"data": data, "root": root}
         )
         return slot
 
     def ireduce(self, data, op: ReductionOp = SUM, root: int = 0,
                 comm: Optional[int] = None):
-        slot = yield from self._icoll(
-            "ireduce", comm, {"payload": data, "root": root, "red_op": op.name},
-            lambda real: self._lib.ireduce(self._task, real, data, op, root),
+        slot = yield from self._pipe.call(
+            "ireduce", comm, {"data": data, "op": op, "root": root}
         )
         return slot
 
     def iallreduce(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
-        slot = yield from self._icoll(
-            "iallreduce", comm, {"payload": data, "red_op": op.name},
-            lambda real: self._lib.iallreduce(self._task, real, data, op),
+        slot = yield from self._pipe.call(
+            "iallreduce", comm, {"data": data, "op": op}
         )
         return slot
 
     def ialltoall(self, data: List[Any], comm: Optional[int] = None):
-        slot = yield from self._icoll(
-            "ialltoall", comm, {"payload": data},
-            lambda real: self._lib.ialltoall(self._task, real, data),
-        )
+        slot = yield from self._pipe.call("ialltoall", comm, {"data": data})
         return slot
 
     def iallgather(self, data, comm: Optional[int] = None):
-        slot = yield from self._icoll(
-            "iallgather", comm, {"payload": data},
-            lambda real: self._lib.iallgather(self._task, real, data),
-        )
+        slot = yield from self._pipe.call("iallgather", comm, {"data": data})
         return slot
 
     # ------------------------------------------------------------------
     # communicator management (collective on the parent)
     # ------------------------------------------------------------------
     def comm_split(self, color, key: int = 0, comm: Optional[int] = None):
-        self._count("comm_split")
-        vid, real, lc = self._lookup_comm(comm)
-        meta = self.mrank.vcomms.meta[vid]
-        gid = meta.gid
-        yield from coll_prologue(self.mrank, gid, "comm_split")
-        _vid, real, lc = self._lookup_comm(comm)  # may be rebound by restart
-        yield Advance(self._wrapper_cost(1, lc))
-        inst = self.mrank.blocking_counts.get(gid, 0)
-        self.mrank.in_lower = (gid, inst)
-        if self.mrank.intent:
-            self.mrank.report_state("in_lower", gid=gid, instance=inst)
-        try:
-            if self.cfg.collective_mode is CollectiveMode.BARRIER_ALWAYS:
-                yield from self._lib.barrier(self._task, real)
-            new_real = yield from self._lib.comm_split(self._task, real, color, key)
-        finally:
-            self.mrank.in_lower = None
-        self.mrank.blocking_counts[gid] = inst + 1
-        if self.mrank.intent:
-            self.mrank.report_state("running")
-        record = CreationRecord(
-            op="split", parent_vid=vid, result_vid=-1,
-            args={"color": color, "key": key},
+        result = yield from self._pipe.call(
+            "comm_split", comm, {"color": color, "key": key}
         )
-        if new_real is COMM_NULL:
-            self.mrank.vcomms.creation_log.append(record)
-            return COMM_NULL
-        new_vid, _c = self.mrank.vcomms.register(new_real, new_real.name, record)
-        return new_vid
+        return result
 
     def comm_dup(self, comm: Optional[int] = None):
-        self._count("comm_dup")
-        vid, real, lc = self._lookup_comm(comm)
-        meta = self.mrank.vcomms.meta[vid]
-        gid = meta.gid
-        yield from coll_prologue(self.mrank, gid, "comm_dup")
-        _vid, real, lc = self._lookup_comm(comm)  # may be rebound by restart
-        yield Advance(self._wrapper_cost(1, lc))
-        inst = self.mrank.blocking_counts.get(gid, 0)
-        self.mrank.in_lower = (gid, inst)
-        if self.mrank.intent:
-            self.mrank.report_state("in_lower", gid=gid, instance=inst)
-        try:
-            if self.cfg.collective_mode is CollectiveMode.BARRIER_ALWAYS:
-                yield from self._lib.barrier(self._task, real)
-            new_real = yield from self._lib.comm_dup(self._task, real)
-        finally:
-            self.mrank.in_lower = None
-        self.mrank.blocking_counts[gid] = inst + 1
-        if self.mrank.intent:
-            self.mrank.report_state("running")
-        record = CreationRecord(op="dup", parent_vid=vid, result_vid=-1)
-        new_vid, _c = self.mrank.vcomms.register(new_real, new_real.name, record)
-        return new_vid
+        result = yield from self._pipe.call("comm_dup", comm, {})
+        return result
 
     def comm_create(self, ranks: Sequence[int], comm: Optional[int] = None):
-        self._count("comm_create")
-        vid, real, lc = self._lookup_comm(comm)
-        meta = self.mrank.vcomms.meta[vid]
-        gid = meta.gid
-        group = real.group.incl(list(ranks))
-        yield from coll_prologue(self.mrank, gid, "comm_create")
-        _vid, real, lc = self._lookup_comm(comm)  # may be rebound by restart
-        yield Advance(self._wrapper_cost(1, lc))
-        inst = self.mrank.blocking_counts.get(gid, 0)
-        self.mrank.in_lower = (gid, inst)
-        if self.mrank.intent:
-            self.mrank.report_state("in_lower", gid=gid, instance=inst)
-        try:
-            if self.cfg.collective_mode is CollectiveMode.BARRIER_ALWAYS:
-                yield from self._lib.barrier(self._task, real)
-            new_real = yield from self._lib.comm_create(self._task, real, group)
-        finally:
-            self.mrank.in_lower = None
-        self.mrank.blocking_counts[gid] = inst + 1
-        if self.mrank.intent:
-            self.mrank.report_state("running")
-        record = CreationRecord(
-            op="create", parent_vid=vid, result_vid=-1,
-            args={"group": tuple(group.world_ranks)},
+        result = yield from self._pipe.call(
+            "comm_create", comm, {"ranks": ranks}
         )
-        if new_real is COMM_NULL:
-            self.mrank.vcomms.creation_log.append(record)
-            return COMM_NULL
-        new_vid, _c = self.mrank.vcomms.register(new_real, new_real.name, record)
-        return new_vid
+        return result
 
     def comm_free(self, comm: int):
-        self._count("comm_free")
-        yield from maybe_checkin(self.mrank, "comm_free")
-        vid, real, lc = self._lookup_comm(comm)
-        yield Advance(self._wrapper_cost(1, lc))
-        self._lib.comm_free(self._task, real)
-        self.mrank.vcomms.free(vid)
-        # freeing is collective and implies all operations on the comm
-        # completed everywhere: its replay records can be pruned safely
-        dropped = self.mrank.icoll_log.drop_comm(vid)
-        if dropped:
-            index = self.mrank.icoll_log.reindex()
-            for _v, entry in self.mrank.vreqs.table.items():
-                if entry.kind is VReqKind.ICOLL:
-                    entry.icoll_index = index.get(entry.vid)
+        yield from self._pipe.call("comm_free", comm)
 
     # ------------------------------------------------------------------
     # memory: MPI_Alloc_mem -> upper-half malloc (Section III item 1)
     # ------------------------------------------------------------------
     def alloc_mem(self, nbytes: int):
-        self._count("alloc_mem")
-        yield Advance(self._wrapper_cost(0))
-        mem = UpperHalfMemory(nbytes)
-        self._uh_mem[mem.mem_id] = mem
+        mem = yield from self._pipe.call("alloc_mem", nbytes)
         return mem
 
     def free_mem(self, mem: UpperHalfMemory):
-        self._count("free_mem")
-        yield Advance(self._wrapper_cost(0))
-        if self._uh_mem.pop(mem.mem_id, None) is None:
-            raise MpiError(f"free_mem of unknown {mem!r}")
+        yield from self._pipe.call("free_mem", mem)
 
     # ------------------------------------------------------------------
     def win_create(self, *a, **kw):
@@ -1054,7 +367,7 @@ class ManaApi:
         from repro.simnet.oob import COORDINATOR_ID
         while True:
             while self.mrank.intent:
-                yield from checkin(self.mrank, "finalize")
+                yield from self._pipe.gate.checkin("finalize")
             # deregistration handshake: the coordinator only grants
             # finalize while no checkpoint is in progress, closing the
             # race between a checkpoint request and process exit

@@ -122,6 +122,9 @@ class MpiLibrary:
     # ------------------------------------------------------------------
     def _count(self, name: str) -> None:
         self.calls[name] = self.calls.get(name, 0) + 1
+        tr = self.sched.tracer
+        if tr.enabled:
+            tr.emit("mpi_library", "call", call=name, incarnation=self.incarnation)
 
     def _check(self) -> None:
         if self.destroyed:

@@ -14,17 +14,37 @@ DeliveryFn = Callable[[Message], None]
 
 
 class NetworkStats:
-    """Cumulative traffic counters (used by benches and Figure 4)."""
+    """Cumulative traffic counters (used by benches and Figure 4).
+
+    Per-pair totals are kept alongside the global ones so that MANA's
+    per-pair drain counters can be audited against what actually crossed
+    the fabric: for every (src, dst), ``pair_bytes`` must equal the
+    sender-side drain counter at a quiesced checkpoint.  A message is
+    recorded exactly once, at injection — :meth:`record` refuses
+    double-recording (the accounting-drift bug class where a retried
+    injection inflates one side of the pair ledger).
+    """
 
     def __init__(self) -> None:
         self.messages = 0
         self.bytes = 0
         self.intranode_messages = 0
         self.internode_messages = 0
+        self.pair_messages: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.pair_bytes: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._recorded_high = 0  # highest msg_id seen (ids are monotone)
 
     def record(self, msg: Message, intranode: bool) -> None:
+        if msg.msg_id <= self._recorded_high:
+            raise SimulationError(
+                f"{msg!r} recorded twice: per-pair accounting would drift"
+            )
+        self._recorded_high = msg.msg_id
         self.messages += 1
         self.bytes += msg.nbytes
+        pair = (msg.src, msg.dst)
+        self.pair_messages[pair] += 1
+        self.pair_bytes[pair] += msg.nbytes
         if intranode:
             self.intranode_messages += 1
         else:
@@ -57,6 +77,9 @@ class Network:
         self._last_arrival: Dict[Tuple[int, int], float] = {}
         self._in_flight: Dict[Tuple[int, int], List[Message]] = defaultdict(list)
         self._in_flight_total = 0
+        #: high-water mark of simultaneously in-flight messages; the
+        #: drain asserts it returns to zero at every checkpoint
+        self.in_flight_peak = 0
         self.stats = NetworkStats()
         self._sealed = False
         self._purged: set = set()
@@ -100,8 +123,17 @@ class Network:
         self._last_arrival[pair] = arrival
         self._in_flight[pair].append(msg)
         self._in_flight_total += 1
+        if self._in_flight_total > self.in_flight_peak:
+            self.in_flight_peak = self._in_flight_total
         self.stats.record(msg, intranode)
         self._sched.schedule_at(arrival, lambda m=msg: self._deliver(m))
+        tr = self._sched.tracer
+        if tr.enabled:
+            tr.emit(
+                "network", "inject", rank=msg.src, dst=msg.dst,
+                msg_id=msg.msg_id, ctx=msg.context_id, tag=msg.tag,
+                nbytes=msg.nbytes, in_flight=self._in_flight_total,
+            )
 
     def _deliver(self, msg: Message) -> None:
         if msg.msg_id in self._purged:
@@ -116,6 +148,13 @@ class Network:
             )
         queue.pop(0)
         self._in_flight_total -= 1
+        tr = self._sched.tracer
+        if tr.enabled:
+            tr.emit(
+                "network", "deliver", rank=msg.dst, src=msg.src,
+                msg_id=msg.msg_id, ctx=msg.context_id, tag=msg.tag,
+                nbytes=msg.nbytes, in_flight=self._in_flight_total,
+            )
         endpoint = self._endpoints[msg.dst]
         assert endpoint is not None
         endpoint(msg)
@@ -144,6 +183,16 @@ class Network:
             out.extend(msgs)
         out.sort(key=lambda m: m.msg_id)
         return out
+
+    def app_in_flight(self, dst: Optional[int] = None) -> List[Message]:
+        """In-flight messages on *application* communicator contexts
+        (even context ids; odd ids are collective-internal traffic that
+        the drain never sees, per the paper's Section III-B scope).
+        Optionally filtered to one destination rank."""
+        return [
+            m for m in self.pending_messages()
+            if m.context_id % 2 == 0 and (dst is None or m.dst == dst)
+        ]
 
     # ------------------------------------------------------------------
     # restart support: the fabric persists across a lower-half teardown;

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Layering lint: the wrapper façade must stay a façade.
+
+``src/repro/mana/wrappers.py`` routes every MPI entry point through the
+interposition pipeline (``repro/mana/pipeline/``).  Costing and drain
+accounting are pipeline stages; if ``wrappers.py`` ever imports
+``repro.mana.fsreg`` or ``repro.mana.counters`` again — directly or via
+``from repro.mana import fsreg`` — per-call logic is leaking back into
+the monolith.  This script walks the module's AST and fails on any such
+import.
+
+Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TARGET = REPO / "src" / "repro" / "mana" / "wrappers.py"
+
+#: modules the wrapper façade must not reach around the pipeline for
+FORBIDDEN = {"repro.mana.fsreg", "repro.mana.counters"}
+FORBIDDEN_LEAVES = {m.rsplit(".", 1)[1] for m in FORBIDDEN}
+
+
+def violations(path: Path) -> list:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    bad = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in FORBIDDEN:
+                    bad.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if mod in FORBIDDEN:
+                bad.append((node.lineno, f"from {mod} import ..."))
+            elif mod == "repro.mana":
+                for alias in node.names:
+                    if alias.name in FORBIDDEN_LEAVES:
+                        bad.append(
+                            (node.lineno, f"from repro.mana import {alias.name}")
+                        )
+    return bad
+
+
+def main() -> int:
+    bad = violations(TARGET)
+    if bad:
+        rel = TARGET.relative_to(REPO)
+        for lineno, desc in bad:
+            print(f"{rel}:{lineno}: forbidden import in wrapper façade: {desc}",
+                  file=sys.stderr)
+        print(
+            "wrappers.py must reach fsreg/counters only through the "
+            "pipeline stages (LowerHalfCosting / DrainAccounting)",
+            file=sys.stderr,
+        )
+        return 1
+    print("layering OK: wrappers.py imports neither fsreg nor counters")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
