@@ -12,7 +12,13 @@ bit-identical to an uncheckpointed run.  Quick scale: 128 ranks and 3
 rounds; ``REPRO_BENCH_SCALE=full``: 2048 ranks and 10 rounds.
 """
 
-from repro.bench import BenchScale, checkpoint_rounds, current_scale, save_result
+from repro.bench import (
+    BenchScale,
+    checkpoint_rounds,
+    current_scale,
+    save_result,
+    write_bench_json,
+)
 from repro.hosts import CORI_HASWELL, CORI_KNL
 from repro.mana import ManaConfig
 from repro.util.tables import AsciiTable
@@ -61,6 +67,29 @@ def render(data) -> str:
     return "\n".join(lines)
 
 
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Figure 3: checkpoint/restart overhead sweep"
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="also write the machine-readable BENCH_fig3.json",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path for --json (default: ./BENCH_fig3.json)",
+    )
+    args = parser.parse_args(argv)
+    data = sweep()
+    print(render(data))
+    if args.json:
+        path = write_bench_json("fig3", data, args.out)
+        print(f"\nwrote {path}")
+    return 0
+
+
 def test_fig3_checkpoint_restart(once):
     data = once(sweep)
     save_result("fig3_ckpt_restart", render(data), data)
@@ -75,3 +104,7 @@ def test_fig3_checkpoint_restart(once):
         # within 3x of the first
         first = recs[0]["checkpoint_time"]
         assert all(r["checkpoint_time"] < 3 * first for r in recs), name
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

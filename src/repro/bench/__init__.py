@@ -11,6 +11,7 @@ from repro.bench.harness import (
     BenchScale,
     current_scale,
     save_result,
+    write_bench_json,
     fig2_point,
     table2_cell,
     checkpoint_rounds,
@@ -21,6 +22,7 @@ __all__ = [
     "BenchScale",
     "current_scale",
     "save_result",
+    "write_bench_json",
     "fig2_point",
     "table2_cell",
     "checkpoint_rounds",

@@ -48,6 +48,21 @@ def save_result(name: str, text: str, data: Optional[dict] = None) -> None:
     print("\n" + text)
 
 
+def write_bench_json(name: str, data: dict,
+                     path: Optional[str] = None) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` — the machine-readable perf trajectory.
+
+    Unlike :func:`save_result` (which archives under ``results/``), this
+    lands a stable, sorted-key JSON file at the repo root (or ``path``)
+    so successive runs can be diffed and tracked over time.
+    """
+    out = pathlib.Path(path) if path else pathlib.Path(f"BENCH_{name}.json")
+    out.write_text(
+        json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Figure 2: GROMACS strong scaling, native vs MANA
 # ----------------------------------------------------------------------

@@ -7,6 +7,7 @@ Subcommands:
 * ``workloads`` — list the Table I benchmark cases;
 * ``machines`` — list the machine models;
 * ``configs`` — show the MANA branch presets and their knobs;
+* ``faults`` — list or run the fault-injection survivability scenarios;
 * ``demo`` — run one of the built-in demonstrations.
 """
 
@@ -34,6 +35,7 @@ CONFIGS = {
     "original": ManaConfig.original,
     "master": ManaConfig.master,
     "2pc": ManaConfig.feature_2pc,
+    "ft": ManaConfig.fault_tolerant,
 }
 
 
@@ -192,6 +194,39 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    import json
+
+    from repro.faults.scenarios import SCENARIOS, run_scenario, scenario_names
+
+    if args.action == "list":
+        t = AsciiTable(["scenario", "description"],
+                       title="fault-injection scenarios")
+        for sc in SCENARIOS.values():
+            t.add_row([sc.name, sc.description])
+        print(t.render())
+        return 0
+    names = scenario_names() if args.scenario == "all" else [args.scenario]
+    failures = 0
+    summaries = []
+    for name in names:
+        summary = run_scenario(name, seed=args.seed, nranks=args.ranks)
+        summaries.append(summary)
+        if args.json:
+            print(json.dumps(summary, sort_keys=True))
+        else:
+            verdict = "ok" if summary["ok"] else "FAILED"
+            print(f"{name:>16}: {verdict}  "
+                  f"(elapsed {summary['elapsed']:.6f}s, "
+                  f"fault-free {summary['ref_elapsed']:.6f}s)")
+            for key in ("killed_rank", "detection_latency", "work_lost",
+                        "aborted_epochs", "durable_epochs", "retry_rounds"):
+                if summary.get(key) is not None:
+                    print(f"{'':>18}{key} = {summary[key]}")
+        failures += 0 if summary["ok"] else 1
+    return 1 if failures else 0
+
+
 def cmd_demo(args) -> int:
     import runpy
     from pathlib import Path
@@ -225,7 +260,7 @@ def main(argv: Optional[list] = None) -> int:
     run.add_argument("--machine", default="testbox",
                      choices=["haswell", "knl", "perlmutter", "testbox"])
     run.add_argument("--config", default="2pc",
-                     choices=["native", "original", "master", "2pc"])
+                     choices=["native", "original", "master", "2pc", "ft"])
     run.add_argument("--checkpoint-at", type=float, nargs="*",
                      help="virtual times to checkpoint at")
     run.add_argument("--checkpoint-interval", type=float, default=None,
@@ -254,7 +289,7 @@ def main(argv: Optional[list] = None) -> int:
     res.add_argument("--machine", default="testbox",
                      choices=["haswell", "knl", "perlmutter", "testbox"])
     res.add_argument("--config", default="2pc",
-                     choices=["original", "master", "2pc"])
+                     choices=["original", "master", "2pc", "ft"])
     res.add_argument("--show-results", action="store_true")
     res.set_defaults(fn=cmd_resume)
 
@@ -279,6 +314,18 @@ def main(argv: Optional[list] = None) -> int:
     rep.add_argument("--results-dir", default="results")
     rep.add_argument("--out", default=None)
     rep.set_defaults(fn=cmd_report)
+
+    faults = sub.add_parser(
+        "faults", help="list or run fault-injection survivability scenarios"
+    )
+    faults.add_argument("action", choices=["list", "run"])
+    faults.add_argument("--scenario", default="all",
+                        help='scenario name, or "all" (default)')
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--ranks", type=int, default=4)
+    faults.add_argument("--json", action="store_true",
+                        help="one JSON summary per line instead of text")
+    faults.set_defaults(fn=cmd_faults)
 
     demo = sub.add_parser("demo", help="run a built-in demonstration")
     demo.add_argument("name", choices=["quickstart", "deadlock",

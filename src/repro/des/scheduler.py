@@ -196,8 +196,31 @@ class Scheduler:
         return self._events_run
 
     def unfinished(self) -> List[Proc]:
-        """Non-daemon processes that have not completed."""
-        return [p for p in self.procs if not p.daemon and p.state is not ProcState.DONE]
+        """Non-daemon processes that have not completed.
+
+        Killed processes are excluded: a kill is a deliberate teardown
+        (fault injection, restart), not a process that failed to run to
+        completion."""
+        return [
+            p
+            for p in self.procs
+            if not p.daemon
+            and p.state not in (ProcState.DONE, ProcState.KILLED)
+        ]
+
+    def kill(self, proc: Proc, reason: str = "") -> bool:
+        """Forcibly terminate one process (fault injection / teardown).
+
+        Pending wakes and scheduled resumes for the process become
+        no-ops.  Returns True if the process was alive."""
+        if not proc.alive:
+            return False
+        proc.kill()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "scheduler", "kill", proc=proc.name, reason=reason
+            )
+        return True
 
     def kill_all(self) -> None:
         """Forcibly terminate every process (restart teardown support)."""

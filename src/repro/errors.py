@@ -64,6 +64,12 @@ class RestartError(ManaError):
     """Restart could not reconstruct a consistent computation."""
 
 
+class RecoveryError(RestartError):
+    """Automatic rollback-restart after a detected failure could not
+    proceed (no durable checkpoint image, or the session was not run
+    with ``record_replay`` so dead ranks cannot be re-executed)."""
+
+
 class DrainError(CheckpointError):
     """The point-to-point drain algorithm failed to settle the network."""
 

@@ -1,0 +1,24 @@
+"""Deterministic fault injection and automatic recovery scenarios.
+
+This package is the *policy* layer for failures: the mechanism hooks
+live below it (``Scheduler.kill``, the network and OOB fault filters,
+``ManaRuntime.bb_fault_hook``, the coordinator's heartbeat monitor and
+the session's :class:`~repro.mana.session.RecoveryOrchestrator`).
+Nothing in ``repro.des`` / ``repro.simnet`` / ``repro.mana`` imports
+this package — it only installs callbacks downward, which is what keeps
+fault-free runs completely unaffected.
+
+* :class:`FaultSpec` / :class:`FaultSchedule` — declarative one-shot
+  faults ("kill rank 3 at t=2.5s", "drop the next COMMIT"), plus seeded
+  random generation via :mod:`repro.util.rng` so chaos runs are
+  bit-reproducible.
+* :class:`FaultInjector` — arms a schedule on a wired
+  :class:`~repro.mana.session.ManaSession`.
+* :mod:`repro.faults.scenarios` — the named end-to-end survivability
+  scenarios the CLI (``repro-mana faults``) and the fault benchmark run.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule, FaultSpec
+
+__all__ = ["FaultInjector", "FaultSchedule", "FaultSpec"]

@@ -1,0 +1,148 @@
+"""The fault injector: arms a schedule's faults on a wired session.
+
+Each fault kind maps onto one mechanism hook:
+
+* ``kill_rank`` — a scheduled callback that :meth:`Scheduler.kill`\\ s
+  the rank's main process, checkpoint thread, and heartbeat daemon (a
+  real crash takes the whole OS process, sockets included — the rank
+  falls silent, which is exactly what the coordinator's heartbeat
+  monitor detects).
+* ``oob_*`` — an :class:`~repro.simnet.oob.OobChannel` fault filter.
+* ``net_*`` — a :class:`~repro.simnet.network.Network` fault filter.
+* ``bb_write_fail`` — the :attr:`ManaRuntime.bb_fault_hook` socket
+  consulted by the per-rank checkpoint cycle.
+
+Every triggered fault is appended to ``rt.fault_records`` and emitted on
+the trace spine (stage ``"faults"``), so a run's injuries are auditable
+next to its recoveries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.faults.schedule import FaultSchedule, FaultSpec
+
+
+class FaultInjector:
+    """Arms one :class:`FaultSchedule` on one ``ManaSession``.
+
+    Call :meth:`arm` after constructing the session and before
+    ``run()``.  Budgets (``spec.count``) are tracked here, so a schedule
+    object can be reused across sessions.
+    """
+
+    def __init__(self, session, schedule: FaultSchedule):
+        self.session = session
+        self.rt = session.rt
+        self.schedule = schedule
+        self._budget = {i: spec.count for i, spec in enumerate(schedule.specs)}
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        if self._armed:
+            raise RuntimeError("a FaultInjector can only be armed once")
+        self._armed = True
+        sched = self.rt.sched
+        for i, spec in enumerate(self.schedule.specs):
+            if spec.kind == "kill_rank":
+                sched.schedule_at(spec.at, self._make_kill(i, spec))
+        if self.schedule.by_kind("oob_drop", "oob_delay"):
+            self.session.oob.set_fault_filter(self._oob_filter)
+        if self.schedule.by_kind("net_drop", "net_delay"):
+            self.session.network.set_fault_filter(self._net_filter)
+        if self.schedule.by_kind("bb_write_fail"):
+            self.rt.bb_fault_hook = self._bb_hook
+        return self
+
+    # ------------------------------------------------------------------
+    def _record(self, i: int, spec: FaultSpec, **detail) -> None:
+        rec = {"spec": i, "kind": spec.kind, "at": self.rt.sched.now}
+        rec.update(detail)
+        self.rt.fault_records.append(rec)
+        tr = self.rt.sched.tracer
+        if tr.enabled:
+            tr.emit("faults", spec.kind, **{k: v for k, v in rec.items()
+                                            if k not in ("kind",)})
+
+    def _spend(self, i: int) -> bool:
+        if self._budget[i] <= 0:
+            return False
+        self._budget[i] -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    def _make_kill(self, i: int, spec: FaultSpec):
+        def kill() -> None:
+            # look the rank up *now*: recovery may have replaced the
+            # ManaRank object since the schedule was armed
+            mrank = self.rt.ranks[spec.rank]
+            if mrank.finalized or not self._spend(i):
+                return
+            killed: List[str] = []
+            for label, proc in (("main", mrank.proc),
+                                ("ckpt_thread", mrank.ckpt_proc),
+                                ("heartbeat", mrank.hb_proc)):
+                if proc is not None and self.rt.sched.kill(
+                    proc, reason=f"fault: kill_rank {spec.rank}"
+                ):
+                    killed.append(label)
+            self._record(i, spec, rank=spec.rank, killed=killed)
+
+        return kill
+
+    # ------------------------------------------------------------------
+    def _oob_filter(self, dst: int, item) -> Optional[Tuple]:
+        kind = item[0] if isinstance(item, tuple) and item else None
+        for i, spec in enumerate(self.schedule.specs):
+            if spec.kind not in ("oob_drop", "oob_delay"):
+                continue
+            if self._budget[i] <= 0:
+                continue
+            if spec.match is not None and kind != spec.match:
+                continue
+            if spec.dst is not None and dst != spec.dst:
+                continue
+            self._spend(i)
+            if spec.kind == "oob_drop":
+                self._record(i, spec, msg_kind=kind, dst=dst)
+                return ("drop",)
+            self._record(i, spec, msg_kind=kind, dst=dst, delay=spec.delay)
+            return ("delay", spec.delay)
+        return None
+
+    def _net_filter(self, msg) -> Optional[Tuple]:
+        for i, spec in enumerate(self.schedule.specs):
+            if spec.kind not in ("net_drop", "net_delay"):
+                continue
+            if self._budget[i] <= 0:
+                continue
+            if spec.src is not None and msg.src != spec.src:
+                continue
+            if spec.dst is not None and msg.dst != spec.dst:
+                continue
+            self._spend(i)
+            if spec.kind == "net_drop":
+                self._record(i, spec, src=msg.src, dst=msg.dst,
+                             nbytes=msg.nbytes)
+                return ("drop",)
+            self._record(i, spec, src=msg.src, dst=msg.dst, delay=spec.delay)
+            return ("delay", spec.delay)
+        return None
+
+    def _bb_hook(self, mrank, image) -> Optional[float]:
+        for i, spec in enumerate(self.schedule.specs):
+            if spec.kind != "bb_write_fail":
+                continue
+            if self._budget[i] <= 0:
+                continue
+            if mrank.rank != spec.rank:
+                continue
+            if spec.epoch is not None and image.epoch != spec.epoch:
+                continue
+            self._spend(i)
+            self._record(i, spec, rank=mrank.rank, epoch=image.epoch,
+                         frac=spec.frac)
+            return spec.frac
+        return None

@@ -1,0 +1,245 @@
+"""Named end-to-end survivability scenarios.
+
+Each scenario builds a workload, calibrates timing against a fault-free
+reference run, injects its faults, and returns a JSON-friendly summary
+with an ``ok`` verdict.  They are exercised three ways: the integration
+tests, the ``repro-mana faults`` CLI subcommand, and
+``benchmarks/bench_fault_recovery.py``.
+
+Everything is deterministic in ``(seed, nranks)``: the same invocation
+produces bit-identical summaries, virtual times included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.apps.micro import TokenRing
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
+from repro.hosts import TESTBOX
+from repro.mana.config import ManaConfig
+from repro.mana.session import CheckpointPlan, ManaSession
+
+
+@dataclass(frozen=True)
+class Scenario:
+    name: str
+    description: str
+    fn: Callable[[int, int], dict]
+
+
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def scenario(name: str, description: str):
+    def register(fn):
+        SCENARIOS[name] = Scenario(name=name, description=description, fn=fn)
+        return fn
+
+    return register
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def run_scenario(name: str, seed: int = 0, nranks: int = 4) -> dict:
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}"
+        )
+    summary = SCENARIOS[name].fn(seed, nranks)
+    summary.update({"scenario": name, "seed": seed, "nranks": nranks})
+    return summary
+
+
+# ----------------------------------------------------------------------
+def _workload(nranks: int):
+    factory = lambda r: TokenRing(r, laps=10, compute_s=2e-3)  # noqa: E731
+    expected = [TokenRing.expected(r, nranks, 10) for r in range(nranks)]
+    return factory, expected
+
+
+def _reference(nranks: int):
+    factory, expected = _workload(nranks)
+    ref = ManaSession(
+        nranks, factory, TESTBOX, ManaConfig.feature_2pc()
+    ).run()
+    assert ref.results == expected, "reference run is wrong; workload bug"
+    return factory, expected, ref
+
+
+# ----------------------------------------------------------------------
+@scenario(
+    "kill-after-ckpt",
+    "kill a seeded-random rank after a committed checkpoint; the job "
+    "must finish correctly via automatic rollback-restart",
+)
+def kill_after_ckpt(seed: int, nranks: int) -> dict:
+    factory, expected, ref = _reference(nranks)
+    plans = [CheckpointPlan(at=ref.elapsed * 0.3, action="resume")]
+    # calibrate against a fault-free fault-tolerant run: the faulted run
+    # is event-identical until the kill fires, so the calibrated commit
+    # time is exact — the kill window provably lands after the epoch
+    # became durable and before the job ends
+    base = ManaSession(
+        nranks, factory, TESTBOX, ManaConfig.fault_tolerant()
+    ).run(checkpoints=list(plans))
+    committed_at = base.checkpoints[0]["completed_at"]
+    tail = base.elapsed - committed_at
+    sess = ManaSession(nranks, factory, TESTBOX, ManaConfig.fault_tolerant())
+    plan = FaultSchedule(seed=seed).random_kill(
+        nranks, committed_at + 0.15 * tail, committed_at + 0.6 * tail
+    )
+    FaultInjector(sess, plan).arm()
+    out = sess.run(checkpoints=list(plans))
+    recovery = out.recoveries[0] if out.recoveries else {}
+    detection = out.detections[0] if out.detections else {}
+    kill = next((f for f in out.faults if f["kind"] == "kill_rank"), {})
+    return {
+        "ok": out.results == expected and len(out.recoveries) == 1,
+        "results_correct": out.results == expected,
+        "killed_rank": kill.get("rank"),
+        "killed_at": kill.get("at"),
+        "detection_latency": (
+            detection.get("detected_at", 0.0) - kill.get("at", 0.0)
+            if kill and detection else None
+        ),
+        "work_lost": recovery.get("work_lost"),
+        "recovery_count": len(out.recoveries),
+        "elapsed": out.elapsed,
+        "ref_elapsed": ref.elapsed,
+    }
+
+
+@scenario(
+    "bb-write-abort",
+    "a burst-buffer write fails mid-2PC; the coordinator must abort the "
+    "epoch cleanly — no wedge, no partial image counted as durable",
+)
+def bb_write_abort(seed: int, nranks: int) -> dict:
+    factory, expected, ref = _reference(nranks)
+    sess = ManaSession(nranks, factory, TESTBOX, ManaConfig.fault_tolerant())
+    victim = seed % nranks
+    plan = FaultSchedule(seed=seed).fail_bb_write(
+        rank=victim, epoch=2, frac=0.6
+    )
+    FaultInjector(sess, plan).arm()
+    out = sess.run(
+        checkpoints=[
+            CheckpointPlan(at=ref.elapsed * 0.3, action="resume"),
+            CheckpointPlan(at=ref.elapsed * 0.6, action="resume"),
+        ]
+    )
+    aborted = [r for r in out.checkpoints if r.get("aborted")]
+    committed = [
+        r for r in out.checkpoints
+        if not r.get("aborted") and not r.get("skipped")
+    ]
+    durable_epochs = sorted(
+        {
+            m.durable_image.epoch
+            for m in sess.rt.ranks
+            if m.durable_image is not None
+        }
+    )
+    return {
+        "ok": (
+            out.results == expected
+            and len(aborted) == 1
+            and aborted[0]["epoch"] == 2
+            and durable_epochs == [1]
+        ),
+        "results_correct": out.results == expected,
+        "aborted_epochs": [r["epoch"] for r in aborted],
+        "committed_epochs": [r["epoch"] for r in committed],
+        "durable_epochs": durable_epochs,
+        "failed_rank": victim,
+        "elapsed": out.elapsed,
+        "ref_elapsed": ref.elapsed,
+    }
+
+
+@scenario(
+    "drop-commit",
+    "the 2PC COMMIT to one rank is eaten by the coordinator channel; "
+    "the bounded retransmit timer must re-send it and the cycle commit",
+)
+def drop_commit(seed: int, nranks: int) -> dict:
+    factory, expected, ref = _reference(nranks)
+    sess = ManaSession(nranks, factory, TESTBOX, ManaConfig.fault_tolerant())
+    victim = seed % nranks
+    plan = FaultSchedule(seed=seed).drop_oob("checkpoint", dst=victim, count=1)
+    FaultInjector(sess, plan).arm()
+    out = sess.run(
+        checkpoints=[CheckpointPlan(at=ref.elapsed * 0.4, action="resume")]
+    )
+    committed = [
+        r for r in out.checkpoints
+        if not r.get("aborted") and not r.get("skipped")
+    ]
+    retries = list(sess.coordinator.retry_events)
+    return {
+        "ok": (
+            out.results == expected
+            and len(committed) == 1
+            and len(retries) >= 1
+            and len(out.faults) == 1
+        ),
+        "results_correct": out.results == expected,
+        "committed_epochs": [r["epoch"] for r in committed],
+        "retry_rounds": len(retries),
+        "dropped": len(out.faults),
+        "elapsed": out.elapsed,
+        "ref_elapsed": ref.elapsed,
+    }
+
+
+@scenario(
+    "random-chaos",
+    "periodic checkpointing with a seeded-random mid-run crash; the job "
+    "must finish correctly whatever phase the crash lands in",
+)
+def random_chaos(seed: int, nranks: int) -> dict:
+    factory, expected, ref = _reference(nranks)
+    interval = ref.elapsed * 0.25
+    # calibrate (see kill-after-ckpt): the kill may land in any 2PC
+    # phase — including mid-cycle, exercising the crash-abort path — but
+    # must fall after the first commit and before the job ends
+    base = ManaSession(
+        nranks, factory, TESTBOX, ManaConfig.fault_tolerant()
+    ).run(checkpoint_interval=interval)
+    first_commit = next(
+        r["completed_at"] for r in base.checkpoints
+        if not r.get("aborted") and not r.get("skipped")
+    )
+    tail = base.elapsed - first_commit
+    sess = ManaSession(nranks, factory, TESTBOX, ManaConfig.fault_tolerant())
+    plan = FaultSchedule(seed=seed).random_kill(
+        nranks, first_commit + 0.05 * tail, first_commit + 0.8 * tail
+    )
+    FaultInjector(sess, plan).arm()
+    out = sess.run(checkpoint_interval=interval)
+    kill = next((f for f in out.faults if f["kind"] == "kill_rank"), {})
+    return {
+        "ok": out.results == expected and len(out.recoveries) == 1,
+        "results_correct": out.results == expected,
+        "killed_rank": kill.get("rank"),
+        "killed_at": kill.get("at"),
+        "checkpoints_committed": len(
+            [
+                r for r in out.checkpoints
+                if not r.get("aborted") and not r.get("skipped")
+            ]
+        ),
+        "checkpoints_aborted": len(
+            [r for r in out.checkpoints if r.get("aborted")]
+        ),
+        "work_lost": (
+            out.recoveries[0].get("work_lost") if out.recoveries else None
+        ),
+        "elapsed": out.elapsed,
+        "ref_elapsed": ref.elapsed,
+    }

@@ -1,0 +1,148 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSpec` names one fault; a :class:`FaultSchedule` is an
+ordered collection of them plus a seeded stream (derived with
+:func:`repro.util.rng.derive_seed`, so adding specs never perturbs other
+random consumers) for generating randomized faults reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.util.rng import make_rng
+
+#: everything an injector knows how to do
+KINDS = (
+    "kill_rank",      # crash one rank's process at a virtual time
+    "oob_drop",       # eat matching coordinator-channel messages
+    "oob_delay",      # delay matching coordinator-channel messages
+    "net_drop",       # lose matching fabric messages on the wire
+    "net_delay",      # delay matching fabric messages
+    "bb_write_fail",  # fail a rank's burst-buffer image write mid-2PC
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault.
+
+    Fields are interpreted per ``kind``:
+
+    * ``kill_rank``: ``rank`` dies at virtual time ``at``.
+    * ``oob_drop`` / ``oob_delay``: affect the next ``count`` OOB
+      messages whose tuple kind equals ``match`` (e.g. ``"checkpoint"``
+      for the 2PC COMMIT, ``"post_ckpt"``, ``"intent"``) and whose
+      destination is ``dst`` (None = any); delays add ``delay`` seconds.
+    * ``net_drop`` / ``net_delay``: affect the next ``count`` fabric
+      messages filtered by ``src``/``dst`` world rank (None = any).
+      Dropping *application* traffic makes the pt2pt drain fail loudly
+      (DrainError) — use delays for app traffic in survivable scenarios.
+    * ``bb_write_fail``: rank ``rank``'s image write fails after
+      ``frac`` of the write time, during epoch ``epoch`` (None = the
+      next write), ``count`` times.
+    """
+
+    kind: str
+    at: Optional[float] = None
+    rank: Optional[int] = None
+    match: Optional[str] = None
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    count: int = 1
+    delay: float = 0.0
+    epoch: Optional[int] = None
+    frac: float = 0.5
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.kind == "kill_rank":
+            if self.at is None or self.rank is None:
+                raise ValueError("kill_rank needs 'at' and 'rank'")
+        if self.kind in ("oob_delay", "net_delay") and self.delay <= 0:
+            raise ValueError(f"{self.kind} needs a positive 'delay'")
+        if self.kind == "bb_write_fail":
+            if self.rank is None:
+                raise ValueError("bb_write_fail needs 'rank'")
+            if not 0.0 <= self.frac < 1.0:
+                raise ValueError("bb_write_fail 'frac' must be in [0, 1)")
+        if self.count < 1:
+            raise ValueError("'count' must be >= 1")
+
+
+class FaultSchedule:
+    """An ordered set of faults, buildable declaratively or randomly.
+
+    The random helpers draw from a stream derived from ``seed`` and the
+    current spec index, so a schedule built the same way from the same
+    seed is identical — the determinism contract every scenario and the
+    fault benchmark rely on.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.seed = seed
+        self.specs: List[FaultSpec] = list(specs)
+
+    # -- declarative builders (chainable) ------------------------------
+    def add(self, spec: FaultSpec) -> "FaultSchedule":
+        self.specs.append(spec)
+        return self
+
+    def kill_rank(self, rank: int, at: float) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="kill_rank", rank=rank, at=at))
+
+    def drop_oob(self, match: str, dst: Optional[int] = None,
+                 count: int = 1) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="oob_drop", match=match, dst=dst,
+                                  count=count))
+
+    def delay_oob(self, match: str, delay: float, dst: Optional[int] = None,
+                  count: int = 1) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="oob_delay", match=match, dst=dst,
+                                  delay=delay, count=count))
+
+    def drop_net(self, src: Optional[int] = None, dst: Optional[int] = None,
+                 count: int = 1) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="net_drop", src=src, dst=dst,
+                                  count=count))
+
+    def delay_net(self, delay: float, src: Optional[int] = None,
+                  dst: Optional[int] = None, count: int = 1) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="net_delay", src=src, dst=dst,
+                                  delay=delay, count=count))
+
+    def fail_bb_write(self, rank: int, epoch: Optional[int] = None,
+                      frac: float = 0.5, count: int = 1) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="bb_write_fail", rank=rank,
+                                  epoch=epoch, frac=frac, count=count))
+
+    # -- seeded random builders ----------------------------------------
+    def random_kill(self, nranks: int, t_min: float,
+                    t_max: float) -> "FaultSchedule":
+        """Kill one seeded-random rank at a seeded-random time."""
+        rng = make_rng(self.seed, "faults", "kill", len(self.specs))
+        rank = int(rng.integers(nranks))
+        at = float(rng.uniform(t_min, t_max))
+        return self.kill_rank(rank, at)
+
+    def random_oob_delays(self, n: int, max_delay: float) -> "FaultSchedule":
+        """Delay ``n`` seeded-random 2PC directives by seeded amounts."""
+        rng = make_rng(self.seed, "faults", "oob", len(self.specs))
+        kinds = ("intent", "release", "checkpoint", "post_ckpt")
+        for _ in range(n):
+            match = kinds[int(rng.integers(len(kinds)))]
+            delay = float(rng.uniform(max_delay * 0.1, max_delay))
+            self.delay_oob(match, delay)
+        return self
+
+    # ------------------------------------------------------------------
+    def by_kind(self, *kinds: str) -> List[FaultSpec]:
+        return [s for s in self.specs if s.kind in kinds]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultSchedule seed={self.seed} specs={len(self.specs)}>"

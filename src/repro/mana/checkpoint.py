@@ -139,28 +139,57 @@ def run_checkpoint_cycle(mrank: ManaRank):
     from repro.mana.restart import perform_restart  # cycle at runtime
 
     rt = mrank.rt
+    tracer = rt.sched.tracer
     mrank.phase = RankPhase.IN_CKPT
 
     if rt.cfg.drain is DrainAlgorithm.ALLTOALL:
         yield from drain_alltoall(mrank)
     else:
         yield from drain_coordinator(mrank)
+    if tracer.enabled:
+        tracer.emit("checkpoint", "drain_done", rank=mrank.rank,
+                    epoch=mrank.intent_epoch)
 
     if rt.cfg.request_get_status:
         _materialize_done_irecvs(mrank)
     image = build_image(mrank)
-    mrank.last_image = image
+    if tracer.enabled:
+        tracer.emit("checkpoint", "image_built", rank=mrank.rank,
+                    epoch=image.epoch, nbytes=image.nbytes)
     serialize_bw = SERIALIZE_BW / (3.0 if rt.cfg.compress_images else 1.0)
-    yield Advance(
-        rt.machine.sw_time(
-            (len(image.blob) + image.declared_app_bytes) / serialize_bw
+    serialize_time = rt.machine.sw_time(
+        (len(image.blob) + image.declared_app_bytes) / serialize_bw
+    )
+    write_time = bb_write_time(mrank, image.nbytes)
+
+    # burst-buffer write: the fault layer may declare the device failed
+    # after some fraction of the bytes landed
+    fail_frac = rt.bb_fault_hook(mrank, image) if rt.bb_fault_hook else None
+    if fail_frac is None:
+        yield Advance(serialize_time + write_time)
+        # only a *fully written* image is a restart candidate
+        mrank.last_image = image
+        mrank.ckpt_done_info = {"nbytes": image.nbytes}
+        if tracer.enabled:
+            tracer.emit("checkpoint", "bb_write_ok", rank=mrank.rank,
+                        epoch=image.epoch, nbytes=image.nbytes)
+        rt.oob.send(
+            COORDINATOR_ID,
+            ("ckpt_done", mrank.rank, dict(mrank.ckpt_done_info)),
         )
-        + bb_write_time(mrank, image.nbytes)
-    )
-    rt.oob.send(
-        COORDINATOR_ID,
-        ("ckpt_done", mrank.rank, {"nbytes": image.nbytes}),
-    )
+    else:
+        # partial write, then the device error surfaces; the bytes on
+        # the burst buffer are garbage and last_image stays untouched
+        yield Advance(serialize_time + write_time * fail_frac)
+        if tracer.enabled:
+            tracer.emit("checkpoint", "bb_write_failed", rank=mrank.rank,
+                        epoch=image.epoch, frac=fail_frac)
+        rt.oob.send(
+            COORDINATOR_ID,
+            ("ckpt_failed", mrank.rank,
+             {"nbytes": image.nbytes, "frac": fail_frac}),
+        )
+
     directive = yield from mrank.park_for_directive(
         f"awaiting post-checkpoint directive rank {mrank.rank}"
     )
@@ -169,11 +198,20 @@ def run_checkpoint_cycle(mrank: ManaRank):
             f"rank {mrank.rank}: expected post_ckpt, got {directive!r}"
         )
     action = directive[1]
+    mrank.ckpt_done_info = None
+    if tracer.enabled:
+        tracer.emit("checkpoint", "post_directive", rank=mrank.rank,
+                    epoch=mrank.intent_epoch, action=action)
     if action == "halt":
         from repro.errors import HaltSignal
 
         raise HaltSignal(f"rank {mrank.rank} halted after checkpoint")
-    if action == "restart":
+    if action == "abort":
+        # 2PC abort: some rank's write failed.  This epoch must never be
+        # restarted from, so roll back to the last *durable* epoch and
+        # resume as if no checkpoint had been requested.
+        mrank.last_image = mrank.durable_image
+    elif action == "restart":
         yield from perform_restart(mrank)
     elif action != "resume":
         raise CheckpointError(f"unknown post-checkpoint action {action!r}")

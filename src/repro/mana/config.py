@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 class CollectiveMode(enum.Enum):
@@ -139,6 +140,23 @@ class ManaConfig:
     #: fruitless polls before a wait loop parks idle (the endpoint
     #: nudges it back); sweepable
     idle_poll_limit: int = 3
+    # ------------------------------------------------------------------
+    # fault tolerance (heartbeat crash detection + 2PC message retry)
+    # ------------------------------------------------------------------
+    #: each rank's checkpoint-thread heartbeat period on the OOB channel
+    #: (virtual seconds); None disables crash detection entirely — the
+    #: default, so fault-free runs pay nothing
+    heartbeat_interval: Optional[float] = None
+    #: silence longer than this declares a rank dead; must comfortably
+    #: exceed ``heartbeat_interval`` plus OOB latency
+    heartbeat_timeout: float = 5e-3
+    #: coordinator-side retransmit timer for lost 2PC messages (intent /
+    #: release / COMMIT / post-checkpoint); None disables retries
+    twopc_retry_timeout: Optional[float] = None
+    #: exponential backoff factor between successive retransmits
+    twopc_retry_backoff: float = 2.0
+    #: bounded retry: give up (CheckpointError) after this many rounds
+    twopc_max_retries: int = 8
     overheads: OverheadModel = field(default_factory=OverheadModel)
 
     # ------------------------------------------------------------------
@@ -201,6 +219,20 @@ class ManaConfig:
             request_gc=True,
             lambda_frames=False,
             multi_call_rank_helper=False,
+        )
+
+    @staticmethod
+    def fault_tolerant() -> "ManaConfig":
+        """``feature/2pc`` hardened for failure scenarios: heartbeat
+        crash detection, bounded 2PC message retries, and result
+        recording so the recovery orchestrator can re-execute a dead
+        rank from its last durable image (REEXEC machinery)."""
+        return ManaConfig.feature_2pc().but(
+            name="fault-tolerant",
+            record_replay=True,
+            heartbeat_interval=1e-3,
+            heartbeat_timeout=5e-3,
+            twopc_retry_timeout=1e-2,
         )
 
     def but(self, **kwargs) -> "ManaConfig":

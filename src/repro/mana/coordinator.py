@@ -35,7 +35,7 @@ from repro.des.mailbox import Mailbox
 from repro.errors import CheckpointError
 from repro.mana.config import CollectiveMode, ManaConfig
 from repro.mana.runtime import ManaRuntime, ReleaseMode
-from repro.simnet.oob import COORDINATOR_ID
+from repro.simnet.oob import COORDINATOR_ID, RECOVERY_ID
 
 PARKED_KINDS = {"at_collective", "blocked_pt2pt", "safe", "finalize"}
 
@@ -74,6 +74,29 @@ class Coordinator:
         #: telemetry per completed checkpoint
         self.records: List[dict] = []
 
+        # ------------------------------------------------------------------
+        # fault tolerance: crash detection + 2PC message retry + abort
+        # ------------------------------------------------------------------
+        #: last heartbeat receipt time per rank (armed sessions only)
+        self.last_heartbeat: Dict[int, float] = {}
+        self._hb_started = 0.0
+        #: ranks declared dead (cleared when recovery reports them back)
+        self.dead_ranks: Set[int] = set()
+        #: one record per crash-detection event
+        self.detections: List[dict] = []
+        #: a recovery orchestrator is registered at RECOVERY_ID
+        self.recovery_armed = False
+        #: ranks whose burst-buffer write failed this epoch
+        self.failed_ranks: Set[int] = set()
+        self._cycle_aborted = False
+        #: last 2PC directive sent to each rank, for retransmission
+        self._last_directive: Dict[int, tuple] = {}
+        #: invalidates in-flight retry timers when the phase advances
+        self._phase_serial = 0
+        self._retries = 0
+        #: one record per retransmission round (telemetry)
+        self.retry_events: List[dict] = []
+
     # ------------------------------------------------------------------
     def run(self):
         """Coordinator main loop (daemon coroutine)."""
@@ -92,8 +115,193 @@ class Coordinator:
                 self._on_drain_counts(rank=msg[1], sent=msg[2], received=msg[3])
             elif kind == "finalize_request":
                 self._on_finalize_request(rank=msg[1])
+            elif kind == "ckpt_failed":
+                self._on_ckpt_failed(rank=msg[1], info=msg[2])
+            elif kind == "heartbeat":
+                self.last_heartbeat[msg[1]] = self.rt.sched.now
+            elif kind == "hb_check":
+                self._on_hb_check()
+            elif kind == "twopc_timeout":
+                self._on_twopc_timeout(serial=msg[1], retries=msg[2])
+            elif kind == "recovered":
+                self._on_recovered(ranks=msg[1])
             else:
                 raise CheckpointError(f"coordinator: unknown message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # directed sends: every 2PC message to a rank is remembered so a
+    # retry round can retransmit exactly what the silent rank missed
+    # ------------------------------------------------------------------
+    def _send_rank(self, rank: int, msg: tuple) -> None:
+        self._last_directive[rank] = msg
+        self.rt.oob.send(rank, msg)
+
+    def _arm_retry(self) -> None:
+        """(Re)start the bounded retransmit timer for the current phase.
+
+        Real DMTCP rides on TCP; with an injectable lossy channel the
+        coordinator must retransmit or a single dropped COMMIT wedges the
+        job.  The timer is a local alarm (not an OOB message), so fault
+        filters cannot eat it."""
+        timeout = self.rt.cfg.twopc_retry_timeout
+        if timeout is None:
+            return
+        self._phase_serial += 1
+        self._retries = 0
+        serial = self._phase_serial
+        self.rt.sched.schedule(
+            timeout, lambda: self.mailbox.put(("twopc_timeout", serial, 1))
+        )
+
+    def _silent_ranks(self) -> Set[int]:
+        if self.phase == "quiescing":
+            silent = {r for r, rep in self.reports.items() if rep is None}
+        elif self.phase == "checkpointing":
+            silent = set(range(self.rt.nranks)) - self.done_ranks
+        elif self.phase == "post":
+            silent = set(range(self.rt.nranks)) - self.resumed_ranks
+        else:
+            silent = set()
+        return silent - self.dead_ranks
+
+    def _on_twopc_timeout(self, serial: int, retries: int) -> None:
+        if serial != self._phase_serial or self.phase == "idle":
+            return  # the phase advanced; this alarm is stale
+        silent = self._silent_ranks()
+        if not silent:
+            return  # everyone answered; progress is in flight
+        cfg = self.rt.cfg
+        if retries > cfg.twopc_max_retries:
+            raise CheckpointError(
+                f"2PC stalled in phase {self.phase!r} (epoch {self.epoch}): "
+                f"ranks {sorted(silent)} silent after "
+                f"{cfg.twopc_max_retries} retransmits"
+            )
+        resent = []
+        for rank in sorted(silent):
+            directive = self._last_directive.get(rank)
+            if directive is not None:
+                self.rt.oob.send(rank, directive)
+                resent.append(rank)
+        self.retry_events.append(
+            {
+                "epoch": self.epoch,
+                "phase": self.phase,
+                "round": retries,
+                "ranks": resent,
+                "at": self.rt.sched.now,
+            }
+        )
+        tr = self.rt.sched.tracer
+        if tr.enabled:
+            tr.emit(
+                "recovery", "twopc_retry", phase=self.phase,
+                epoch=self.epoch, round=retries, ranks=resent,
+            )
+        delay = cfg.twopc_retry_timeout * (cfg.twopc_retry_backoff ** retries)
+        self.rt.sched.schedule(
+            delay,
+            lambda: self.mailbox.put(("twopc_timeout", serial, retries + 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # heartbeat crash detection
+    # ------------------------------------------------------------------
+    def start_heartbeat_monitor(self) -> None:
+        """Arm the periodic liveness scan (called by the session when
+        ``cfg.heartbeat_interval`` is set)."""
+        now = self.rt.sched.now
+        self._hb_started = now
+        self.last_heartbeat = {m.rank: now for m in self.rt.ranks}
+        self._arm_hb_check()
+
+    def _arm_hb_check(self) -> None:
+        interval = self.rt.cfg.heartbeat_interval
+        self.rt.sched.schedule(
+            interval, lambda: self.mailbox.put(("hb_check",))
+        )
+
+    def _on_hb_check(self) -> None:
+        rt = self.rt
+        if all(m.finalized for m in rt.ranks):
+            return  # computation over: let the timer chain end
+        now = rt.sched.now
+        timeout = rt.cfg.heartbeat_timeout
+        dead = [
+            m.rank
+            for m in rt.ranks
+            if m.rank not in self.dead_ranks
+            and not m.finalized
+            and now - self.last_heartbeat.get(m.rank, self._hb_started)
+            > timeout
+        ]
+        self._arm_hb_check()
+        if dead:
+            self._on_ranks_dead(dead)
+
+    def _on_ranks_dead(self, dead: List[int]) -> None:
+        now = self.rt.sched.now
+        self.dead_ranks.update(dead)
+        detection = {
+            "ranks": list(dead),
+            "detected_at": now,
+            "phase": self.phase,
+            "epoch": self.epoch,
+        }
+        self.detections.append(detection)
+        tr = self.rt.sched.tracer
+        if tr.enabled:
+            tr.emit(
+                "recovery", "crash_detected", ranks=list(dead),
+                phase=self.phase, epoch=self.epoch,
+            )
+        if self.phase in ("quiescing", "checkpointing"):
+            # nothing of this epoch is durable yet: abort the cycle (the
+            # surviving ranks are about to be torn down by recovery, so
+            # no per-rank unwind is needed — only the requester must not
+            # be left waiting forever)
+            record = {
+                "epoch": self.epoch,
+                "aborted": True,
+                "reason": "rank_crash",
+                "crashed_ranks": list(dead),
+                "requested_at": self.ckpt_started_at,
+                "completed_at": now,
+            }
+            self.records.append(record)
+            self._finish_cycle(record)
+        elif self.phase == "post":
+            # the epoch committed before the crash (every image is on
+            # the burst buffer); only the resume fan-in was interrupted
+            self.records[-1]["interrupted_by_crash"] = True
+            self.records[-1].setdefault(
+                "cycle_time", now - self.records[-1]["requested_at"]
+            )
+            self.records[-1].setdefault("restart_time", 0.0)
+            self._finish_cycle(self.records[-1])
+        if not self.recovery_armed:
+            raise CheckpointError(
+                f"ranks {dead} died (heartbeat timeout) and no recovery "
+                "orchestrator is armed; run the session with a "
+                "fault-tolerant configuration to survive crashes"
+            )
+        self.rt.oob.send(RECOVERY_ID, ("crash", list(dead), detection))
+
+    def _on_recovered(self, ranks: List[int]) -> None:
+        """Recovery finished: the job is whole again (new incarnation)."""
+        self.dead_ranks.clear()
+        now = self.rt.sched.now
+        for m in self.rt.ranks:
+            self.last_heartbeat[m.rank] = now
+
+    def _finish_cycle(self, record: dict) -> None:
+        self.phase = "idle"
+        self.failed_ranks = set()
+        self._cycle_aborted = False
+        self._phase_serial += 1  # invalidate outstanding retry alarms
+        if self.requester is not None:
+            self.rt.oob.send(self.requester, ("cycle_complete", dict(record)))
+            self.requester = None
 
     # ------------------------------------------------------------------
     # protocol steps
@@ -138,13 +346,19 @@ class Coordinator:
         self.resumed_ranks = set()
         self.drain_reports = {}
         self.drain_rounds = 0
+        self.failed_ranks = set()
+        self._cycle_aborted = False
+        self._last_directive = {}
         for mrank in self.rt.ranks:
-            self.rt.oob.send(mrank.rank, ("intent", self.epoch))
+            self._send_rank(mrank.rank, ("intent", self.epoch))
+        self._arm_retry()
 
     def _on_state(self, rank: int, report: dict) -> None:
         if self.phase != "quiescing":
             # late transition reports during checkpointing are harmless
             return
+        if report.get("epoch", self.epoch) != self.epoch:
+            return  # stale report from before a crash recovery
         self.reports[rank] = report
         self._evaluate()
 
@@ -285,16 +499,16 @@ class Coordinator:
 
         for rank, mode in release.items():
             self.reports[rank] = None  # expect a fresh report
-            self.rt.oob.send(
-                rank, ("release", dict(self.horizons), mode)
-            )
+            self._send_rank(rank, ("release", dict(self.horizons), mode))
+        self._arm_retry()
 
     # ------------------------------------------------------------------
     def _enter_phase2(self) -> None:
         self.phase = "checkpointing"
         self.quiesced_at = self.rt.sched.now
         for mrank in self.rt.ranks:
-            self.rt.oob.send(mrank.rank, ("checkpoint",))
+            self._send_rank(mrank.rank, ("checkpoint",))
+        self._arm_retry()
 
     def _on_finalize_request(self, rank: int) -> None:
         if self.phase == "idle":
@@ -305,6 +519,8 @@ class Coordinator:
 
     def _on_drain_counts(self, rank: int, sent: int, received: int) -> None:
         """Original MANA drain: totals bounced off the coordinator."""
+        if self.phase != "checkpointing":
+            return  # stale report from an aborted epoch
         self.drain_reports[rank] = (sent, received)
         if len(self.drain_reports) < self.rt.nranks:
             return
@@ -319,8 +535,32 @@ class Coordinator:
             self.rt.oob.send(mrank.rank, ("drain_verdict", balanced))
 
     def _on_ckpt_done(self, rank: int, info: dict) -> None:
+        if self.phase != "checkpointing":
+            return  # duplicate re-ack after a retried COMMIT
         self.done_ranks.add(rank)
-        if len(self.done_ranks) < self.rt.nranks:
+        self._maybe_finish_phase2()
+
+    def _on_ckpt_failed(self, rank: int, info: dict) -> None:
+        """A rank's burst-buffer write failed: its image for this epoch
+        does not exist.  The epoch cannot commit — once every rank has
+        reported one way or the other, abort."""
+        if self.phase != "checkpointing":
+            return
+        self.failed_ranks.add(rank)
+        self.done_ranks.add(rank)
+        tr = self.rt.sched.tracer
+        if tr.enabled:
+            tr.emit(
+                "recovery", "bb_write_failed", rank=rank,
+                epoch=self.epoch, frac=info.get("frac"),
+            )
+        self._maybe_finish_phase2()
+
+    def _maybe_finish_phase2(self) -> None:
+        if len(self.done_ranks | self.dead_ranks) < self.rt.nranks:
+            return
+        if self.failed_ranks:
+            self._abort_cycle()
             return
         record = {
             "epoch": self.epoch,
@@ -336,38 +576,67 @@ class Coordinator:
             "post_action": self.post_action,
         }
         self.records.append(record)
+        # COMMIT POINT: every image is on the burst buffer.  Marking the
+        # epoch durable is one coordinator-side manifest write (a single
+        # callback in virtual time), so there is no window where some
+        # ranks consider the epoch durable and others do not.
+        for m in self.rt.ranks:
+            m.durable_image = m.last_image
         if self.post_action == "halt":
             # the job is being killed after the image write: no resumes
             record["cycle_time"] = self.rt.sched.now - record["requested_at"]
             record["restart_time"] = 0.0
-            self.phase = "idle"
             for mrank in self.rt.ranks:
-                self.rt.oob.send(mrank.rank, ("post_ckpt", "halt"))
-            if self.requester is not None:
-                self.rt.oob.send(
-                    self.requester, ("cycle_complete", dict(record))
-                )
-                self.requester = None
+                self._send_rank(mrank.rank, ("post_ckpt", "halt"))
+            self._finish_cycle(record)
             return
         self.phase = "post"
         for mrank in self.rt.ranks:
-            self.rt.oob.send(mrank.rank, ("post_ckpt", self.post_action))
+            self._send_rank(mrank.rank, ("post_ckpt", self.post_action))
+        self._arm_retry()
+
+    def _abort_cycle(self) -> None:
+        """2PC abort: some rank could not write its image.  Every rank
+        rolls its ``last_image`` back to the last durable epoch — a
+        half-written epoch must never be a restart candidate — and
+        resumes as if the checkpoint had never been requested."""
+        record = {
+            "epoch": self.epoch,
+            "aborted": True,
+            "reason": "bb_write_failed",
+            "failed_ranks": sorted(self.failed_ranks),
+            "requested_at": self.ckpt_started_at,
+            "quiesce_time": self.quiesced_at - self.ckpt_started_at,
+            "completed_at": self.rt.sched.now,
+            "release_rounds": self.release_rounds,
+        }
+        self.records.append(record)
+        tr = self.rt.sched.tracer
+        if tr.enabled:
+            tr.emit(
+                "recovery", "ckpt_aborted", epoch=self.epoch,
+                failed_ranks=sorted(self.failed_ranks),
+            )
+        self._cycle_aborted = True
+        self.phase = "post"
+        for mrank in self.rt.ranks:
+            self._send_rank(mrank.rank, ("post_ckpt", "abort"))
+        self._arm_retry()
 
     def _on_resumed(self, rank: int) -> None:
+        if self.phase != "post":
+            return  # duplicate after a retried post_ckpt directive
         self.resumed_ranks.add(rank)
-        if len(self.resumed_ranks) < self.rt.nranks:
+        if len(self.resumed_ranks | self.dead_ranks) < self.rt.nranks:
             return
-        self.records[-1]["cycle_time"] = (
-            self.rt.sched.now - self.records[-1]["requested_at"]
-        )
-        self.records[-1]["restart_time"] = (
-            self.rt.sched.now - self.records[-1]["completed_at"]
-            if self.post_action == "restart"
-            else 0.0
-        )
-        self.phase = "idle"
-        if self.requester is not None:
-            self.rt.oob.send(
-                self.requester, ("cycle_complete", dict(self.records[-1]))
+        record = self.records[-1]
+        record["cycle_time"] = self.rt.sched.now - record["requested_at"]
+        if self._cycle_aborted:
+            record["restart_time"] = 0.0
+        else:
+            record["restart_time"] = (
+                self.rt.sched.now - record["completed_at"]
+                if self.post_action == "restart"
+                else 0.0
             )
-            self.requester = None
+        self._finish_cycle(record)

@@ -672,9 +672,22 @@ class SemanticLowering:
 
     def comm_free(self, comm: int):
         vid, real, lc = self.virt.lookup_comm(comm)
+        gid = self.virt.comm_meta(vid).gid
+        # MPI_Comm_free is collective on the communicator, so it must be
+        # equalized like one (Section III-K): if a checkpoint could cut
+        # between members' frees, the images would disagree about the
+        # active-communicator list and the restart reconstruction
+        # barrier would hang waiting for members that already freed.
+        yield from self.gate.collective(gid, "comm_free")
+        _vid, real, lc = self.virt.lookup_comm(comm)  # rebound by a restart
         yield Advance(self.cost.wrapper_cost(1, lc))
         self.api._lib.comm_free(self.api._task, real)
         self.virt.free_comm(vid)
+        self.mrank.blocking_counts[gid] = (
+            self.mrank.blocking_counts.get(gid, 0) + 1
+        )
+        if self.mrank.intent:
+            self.mrank.report_state("running")
         # freeing is collective and implies all operations on the comm
         # completed everywhere: its replay records can be pruned safely
         dropped = self.mrank.icoll_log.drop_comm(vid)

@@ -291,7 +291,9 @@ def _specs() -> Dict[str, CallSpec]:
     # communicator management
     for name, desc in COMM_MGMT_DESCS.items():
         add(CallSpec(name, handler="comm_mgmt", desc=desc))
-    add(CallSpec("comm_free", handler="comm_free", checkin=True))
+    # comm_free runs the gate's horizon prologue inside the handler
+    # (it is collective on the freed communicator)
+    add(CallSpec("comm_free", handler="comm_free"))
     # memory (MPI_Alloc_mem -> upper-half malloc)
     add(CallSpec("alloc_mem", handler="alloc_mem"))
     add(CallSpec("free_mem", handler="free_mem"))

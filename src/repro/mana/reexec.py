@@ -124,6 +124,8 @@ def reexec_transition(api: ManaApi):
 
     mrank = api.mrank
     rt = mrank.rt
+    tracer = rt.sched.tracer
+    started = rt.sched.now
     payload = getattr(mrank, "_reexec_image", None)
     if payload is None:
         raise RestartError(
@@ -131,7 +133,11 @@ def reexec_transition(api: ManaApi):
         )
     mrank._reexec_image = None
 
-    yield Advance(bb_read_time(mrank, getattr(mrank, "_reexec_nbytes", 0)))
+    nbytes = getattr(mrank, "_reexec_nbytes", 0)
+    yield Advance(bb_read_time(mrank, nbytes))
+    if tracer.enabled:
+        tracer.emit("restart", "image_read", rank=mrank.rank,
+                    nbytes=nbytes, mode="reexec")
 
     mrank.counters.restore(payload["counters"])
     mrank.drain_buffer.restore(payload["drain_buffer"])
@@ -165,12 +171,21 @@ def reexec_transition(api: ManaApi):
 
     # rebuild the lower-half bindings (fresh library of this session)
     if rt.cfg.comm_reconstruction is CommReconstruction.ACTIVE_LIST:
-        yield from _reconstruct_active_list(mrank)
+        rebuilt = yield from _reconstruct_active_list(mrank)
     else:
-        yield from _reconstruct_replay_log(mrank)
-    _repost_pending_irecvs(mrank)
-    yield from _recreate_persistent(mrank)
-    yield from _replay_icolls(mrank)
+        rebuilt = yield from _reconstruct_replay_log(mrank)
+    if tracer.enabled:
+        tracer.emit("restart", "comms_rebuilt", rank=mrank.rank,
+                    count=rebuilt, incarnation=rt.incarnation)
+    reposted = _repost_pending_irecvs(mrank)
+    persistent = yield from _recreate_persistent(mrank)
+    replayed = yield from _replay_icolls(mrank)
+    if tracer.enabled:
+        tracer.emit("restart", "restart_done", rank=mrank.rank,
+                    seconds=rt.sched.now - started, mode="reexec",
+                    irecvs_reposted=reposted,
+                    persistent_recreated=persistent,
+                    icolls_replayed=replayed)
 
     api.replay_log.replaying = False
 

@@ -187,12 +187,19 @@ def _replay_icolls(mrank: ManaRank):
 def perform_restart(mrank: ManaRank):
     """The full per-rank restart procedure (RECONNECT mode)."""
     rt = mrank.rt
+    tracer = rt.sched.tracer
     started = rt.sched.now
+    if tracer.enabled:
+        tracer.emit("restart", "rendezvous", rank=mrank.rank,
+                    incarnation=rt.incarnation)
     yield from rt.restart_rendezvous(mrank)
 
     image = mrank.last_image
     if image is not None:
         yield Advance(bb_read_time(mrank, image.nbytes))
+        if tracer.enabled:
+            tracer.emit("restart", "image_read", rank=mrank.rank,
+                        epoch=image.epoch, nbytes=image.nbytes)
 
     mrank.fortran.rebind(rt.fortran_linkage)
 
@@ -200,6 +207,9 @@ def perform_restart(mrank: ManaRank):
         rebuilt = yield from _reconstruct_active_list(mrank)
     else:
         rebuilt = yield from _reconstruct_replay_log(mrank)
+    if tracer.enabled:
+        tracer.emit("restart", "comms_rebuilt", rank=mrank.rank,
+                    count=rebuilt, incarnation=rt.incarnation)
 
     reposted = _repost_pending_irecvs(mrank)
     persistent = yield from _recreate_persistent(mrank)
@@ -208,6 +218,12 @@ def perform_restart(mrank: ManaRank):
     mrank.stats.wrapper_calls["__restart__"] = (
         mrank.stats.wrapper_calls.get("__restart__", 0) + 1
     )
+    if tracer.enabled:
+        tracer.emit("restart", "restart_done", rank=mrank.rank,
+                    seconds=rt.sched.now - started,
+                    irecvs_reposted=reposted,
+                    persistent_recreated=persistent,
+                    icolls_replayed=replayed)
     rt.restart_records[-1].setdefault("per_rank", {})[mrank.rank] = {
         "comms_rebuilt": rebuilt,
         "irecvs_reposted": reposted,

@@ -116,12 +116,26 @@ class ManaRank:
         self.proc: Optional[Proc] = None
         self.task: Optional[RankTask] = None
         self.ckpt_proc: Optional[Proc] = None
+        #: heartbeat daemon (armed only when cfg.heartbeat_interval set)
+        self.hb_proc: Optional[Proc] = None
         self.mailbox: Optional[Mailbox] = None
         self.program: Any = None
         self.api: Any = None
 
         self.stats = RankStats()
+        #: most recent *successfully written* checkpoint image
         self.last_image: Any = None
+        #: last image whose epoch the 2PC *committed* — every rank wrote
+        #: theirs and the coordinator broadcast post_ckpt.  Only durable
+        #: images are valid rollback targets; a half-written epoch never
+        #: lands here.
+        self.durable_image: Any = None
+        #: ckpt_done payload, kept until the post-checkpoint directive is
+        #: processed so a retried COMMIT can be re-acknowledged
+        self.ckpt_done_info: Optional[dict] = None
+        #: last state report sent, for retransmission on a duplicate
+        #: intent (the coordinator retries when a report seems lost)
+        self._last_report: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # checkpoint-thread <-> main-thread handoff
@@ -147,13 +161,24 @@ class ManaRank:
     # ------------------------------------------------------------------
     def report_state(self, kind: str, **extra: Any) -> None:
         """Send a state report to the coordinator (OOB)."""
+        self._last_report = (kind, dict(extra))
         report = {
             "kind": kind,
+            "epoch": self.intent_epoch,
             "coll_counts": dict(self.blocking_counts),
             "gid_members": self.vcomms.gid_members(),
         }
         report.update(extra)
         self.rt.oob.send(COORDINATOR_ID, ("state", self.rank, report))
+
+    def resend_report(self) -> bool:
+        """Retransmit the last state report (duplicate-intent handling:
+        the coordinator suspects the original was lost)."""
+        if self._last_report is None:
+            return False
+        kind, extra = self._last_report
+        self.report_state(kind, **extra)
+        return True
 
     # ------------------------------------------------------------------
     def world_group(self) -> Group:
@@ -191,9 +216,19 @@ class ManaRuntime:
         # restart rendezvous
         self._rendezvous_waiting: List[ManaRank] = []
 
+        #: burst-buffer write fault hook: ``fn(mrank, image) -> None``
+        #: (write succeeds) or a float in [0, 1) — the fraction of the
+        #: write completed before the device failed.  Installed by
+        #: ``repro.faults``; this layer only provides the socket.
+        self.bb_fault_hook: Any = None
+
         # telemetry
         self.checkpoint_records: List[dict] = []
         self.restart_records: List[dict] = []
+        #: injected faults (appended by repro.faults.FaultInjector)
+        self.fault_records: List[dict] = []
+        #: automatic rollback-restart recoveries (RecoveryOrchestrator)
+        self.recovery_records: List[dict] = []
 
     # ------------------------------------------------------------------
     def _make_internal_comm(self) -> RealComm:
@@ -256,3 +291,28 @@ class ManaRuntime:
                 "at": self.sched.now,
             }
         )
+
+    def crash_teardown(self) -> dict:
+        """Replace the lower half after a *crash* (fault recovery).
+
+        Unlike the checkpoint-time teardown, no drain invariant holds:
+        the dead rank took its connections down mid-conversation, so
+        every in-flight message — application traffic included — is
+        simply lost with the old incarnation.  The recovery orchestrator
+        re-executes all ranks from durable images, so nothing that was
+        in flight is needed.  Fresh processes also mean fresh link-time
+        addresses for the Fortran constants (Section III-F), unlike the
+        in-place RECONNECT path."""
+        helpers_killed, msgs_purged = self.lib.destroy()
+        self.incarnation += 1
+        self.fortran_linkage = FortranLinkage(self.incarnation)
+        self.lib = MpiLibrary(
+            self.sched, self.network, self.machine, incarnation=self.incarnation
+        )
+        self.internal_comm = self._make_internal_comm()
+        self._rendezvous_waiting = []
+        return {
+            "incarnation": self.incarnation,
+            "helpers_killed": helpers_killed,
+            "msgs_purged": msgs_purged,
+        }

@@ -15,18 +15,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.des.scheduler import Scheduler
 from repro.des.syscalls import Advance
-from repro.errors import CheckpointError, HaltSignal
+from repro.errors import CheckpointError, HaltSignal, RecoveryError
 from repro.hosts.machine import MachineSpec
 from repro.hosts.presets import TESTBOX
 from repro.mana.api import NativeApi
 from repro.mana.config import ManaConfig
 from repro.mana.coordinator import Coordinator
-from repro.mana.runtime import ManaRuntime
-from repro.mana.twophase import ckpt_thread_body
+from repro.mana.runtime import ManaRank, ManaRuntime
+from repro.mana.twophase import ckpt_thread_body, heartbeat_body
 from repro.mana.wrappers import ManaApi
 from repro.simmpi.library import MpiLibrary, RankTask
 from repro.simnet.network import Network
-from repro.simnet.oob import OobChannel
+from repro.simnet.oob import COORDINATOR_ID, RECOVERY_ID, OobChannel
 
 #: OOB endpoint id of the session controller
 CONTROLLER_ID = -2
@@ -65,6 +65,11 @@ class RunOutcome:
     oob_messages: int = 0
     lib_calls: Dict[str, int] = field(default_factory=dict)
     image_bytes: List[int] = field(default_factory=list)
+    #: injected faults (repro.faults), crash detections (coordinator),
+    #: and automatic rollback-restart recoveries, in occurrence order
+    faults: List[dict] = field(default_factory=list)
+    detections: List[dict] = field(default_factory=list)
+    recoveries: List[dict] = field(default_factory=list)
 
     @property
     def total_collective_calls(self) -> int:
@@ -162,6 +167,61 @@ class ManaSession:
         self._controller_records: List[dict] = []
         self._finish_times: Dict[int, float] = {}
         self._wired = False
+        #: main process per rank (rebuilt in place by crash recovery)
+        self._procs: List[Any] = []
+        self.recovery: Optional[RecoveryOrchestrator] = None
+
+    # ------------------------------------------------------------------
+    def _spawn_rank(self, mrank: ManaRank, reexec_payload=None):
+        """Build one rank's program + API and spawn its main process,
+        checkpoint thread, and (when crash detection is armed) heartbeat
+        daemon.  Shared by initial wiring and crash recovery — recovery
+        passes the durable image as ``reexec_payload`` so the fresh rank
+        replays its way back to the committed epoch."""
+        mrank.program = self.program_factory(mrank.rank)
+        if self.cfg.record_replay:
+            from repro.mana.reexec import build_recording_api
+            from repro.mana.replay import ReplayLog
+
+            if reexec_payload is not None:
+                mrank._reexec_image = reexec_payload["state"]
+                mrank._reexec_nbytes = reexec_payload["nbytes"]
+                log = ReplayLog(
+                    list(reexec_payload["state"]["replay_log"]), replaying=True
+                )
+            else:
+                log = ReplayLog()
+            mrank.api = build_recording_api(mrank, log)
+        else:
+            mrank.api = ManaApi(mrank)
+
+        def main_body(mr=mrank):
+            try:
+                result = yield from mr.program.main(mr.api)
+                yield from mr.api._finalize()
+            except HaltSignal:
+                self._finish_times[mr.rank] = self.sched.now
+                return HALTED
+            finished = mr.app_finished_at
+            self._finish_times[mr.rank] = (
+                finished if finished is not None else self.sched.now
+            )
+            return result
+
+        inc = self.rt.incarnation
+        suffix = f"-inc{inc}" if inc else ""
+        proc = self.sched.spawn(main_body(), f"rank{mrank.rank}{suffix}")
+        mrank.proc = proc
+        mrank.task = RankTask(proc=proc, world_rank=mrank.rank)
+        mrank.ckpt_proc = self.sched.spawn(
+            ckpt_thread_body(mrank),
+            f"ckpt-thread-{mrank.rank}{suffix}", daemon=True,
+        )
+        if self.cfg.heartbeat_interval is not None:
+            mrank.hb_proc = self.sched.spawn(
+                heartbeat_body(mrank), f"hb-{mrank.rank}{suffix}", daemon=True
+            )
+        return proc
 
     # ------------------------------------------------------------------
     def _wire(self, checkpoints: Sequence[CheckpointPlan]) -> List:
@@ -175,44 +235,25 @@ class ManaSession:
         procs = []
         for mrank in rt.ranks:
             mrank.mailbox = self.oob.register(mrank.rank)
-            mrank.program = self.program_factory(mrank.rank)
-            if self.cfg.record_replay:
-                from repro.mana.reexec import build_recording_api
-                from repro.mana.replay import ReplayLog
-
-                if self._reexec_images is not None:
-                    payload = self._reexec_images[mrank.rank]
-                    mrank._reexec_image = payload["state"]
-                    mrank._reexec_nbytes = payload["nbytes"]
-                    log = ReplayLog(
-                        list(payload["state"]["replay_log"]), replaying=True
-                    )
-                else:
-                    log = ReplayLog()
-                mrank.api = build_recording_api(mrank, log)
-            else:
-                mrank.api = ManaApi(mrank)
-
-            def main_body(mr=mrank):
-                try:
-                    result = yield from mr.program.main(mr.api)
-                    yield from mr.api._finalize()
-                except HaltSignal:
-                    self._finish_times[mr.rank] = self.sched.now
-                    return HALTED
-                finished = mr.app_finished_at
-                self._finish_times[mr.rank] = (
-                    finished if finished is not None else self.sched.now
-                )
-                return result
-
-            proc = self.sched.spawn(main_body(), f"rank{mrank.rank}")
-            mrank.proc = proc
-            mrank.task = RankTask(proc=proc, world_rank=mrank.rank)
-            mrank.ckpt_proc = self.sched.spawn(
-                ckpt_thread_body(mrank), f"ckpt-thread-{mrank.rank}", daemon=True
+            payload = (
+                self._reexec_images[mrank.rank]
+                if self._reexec_images is not None
+                else None
             )
-            procs.append(proc)
+            procs.append(self._spawn_rank(mrank, reexec_payload=payload))
+        self._procs = procs
+
+        if self.cfg.heartbeat_interval is not None:
+            # crash detection is on; arm automatic recovery too when the
+            # session records results (dead ranks are re-executed from
+            # the last durable image — REEXEC machinery)
+            if self.cfg.record_replay:
+                self.recovery = RecoveryOrchestrator(self)
+                self.recovery.proc = self.sched.spawn(
+                    self.recovery.run(), "recovery-orchestrator", daemon=True
+                )
+                self.coordinator.recovery_armed = True
+            self.coordinator.start_heartbeat_monitor()
 
         if checkpoints:
             plans = sorted(checkpoints, key=lambda p: p.at)
@@ -251,7 +292,7 @@ class ManaSession:
         ``checkpoint_interval`` is DMTCP's ``-i``: automatic checkpoints
         every N virtual seconds until the computation ends (requests
         landing after the end are skipped gracefully)."""
-        procs = self._wire(checkpoints)
+        self._wire(checkpoints)
         if checkpoint_interval is not None:
             self._spawn_interval_controller(checkpoint_interval,
                                             interval_action)
@@ -277,7 +318,7 @@ class ManaSession:
                 )
         rt = self.rt
         return RunOutcome(
-            results=[p.result for p in procs],
+            results=[p.result for p in self._procs],
             elapsed=max(self._finish_times.values(), default=self.sched.now),
             mode="mana",
             rank_stats=[m.stats for m in rt.ranks],
@@ -290,6 +331,9 @@ class ManaSession:
             image_bytes=[
                 m.last_image.nbytes for m in rt.ranks if m.last_image is not None
             ],
+            faults=list(rt.fault_records),
+            detections=list(self.coordinator.detections),
+            recoveries=list(rt.recovery_records),
         )
 
 
@@ -345,6 +389,106 @@ class ManaSession:
         with open(path, "wb") as fh:
             fh.write(blob)
         return len(blob)
+
+
+class RecoveryOrchestrator:
+    """The resource manager's rollback-restart loop (daemon coroutine).
+
+    When the coordinator's heartbeat monitor declares ranks dead, it
+    notifies this orchestrator at :data:`RECOVERY_ID`.  Recovery is
+    whole-job: the crashed rank's connections are gone and every peer's
+    lower half references them, so all ranks are torn down and
+    re-executed from the last *durable* checkpoint epoch — the REEXEC
+    restart mode, driven automatically instead of by a new session.
+    Work since the durable epoch is lost and accounted in
+    ``rt.recovery_records``.
+    """
+
+    def __init__(self, session: ManaSession):
+        self.session = session
+        self.rt = session.rt
+        self.mailbox = session.oob.register(RECOVERY_ID)
+        self.proc = None  # set by the session at spawn
+
+    def run(self):
+        while True:
+            msg = yield from self.mailbox.get(self.proc)
+            if msg[0] != "crash":
+                raise RecoveryError(
+                    f"recovery orchestrator: unexpected message {msg!r}"
+                )
+            self._recover(dead=msg[1], detection=msg[2])
+
+    # ------------------------------------------------------------------
+    def _recover(self, dead: List[int], detection: dict) -> None:
+        rt, session = self.rt, self.session
+        sched = rt.sched
+        started = sched.now
+
+        # 0. validate: recovery needs one consistent durable epoch
+        images = [m.durable_image for m in rt.ranks]
+        missing = [m.rank for m, img in zip(rt.ranks, images) if img is None]
+        if missing:
+            raise RecoveryError(
+                f"ranks {dead} crashed but ranks {missing} have no durable "
+                "checkpoint image; nothing to roll back to"
+            )
+        epochs = {img.epoch for img in images}
+        if len(epochs) != 1:
+            raise RecoveryError(
+                f"durable images span epochs {sorted(epochs)}; the commit "
+                "manifest is inconsistent (coordinator bug)"
+            )
+        epoch = epochs.pop()
+        if session.recovery is not self:
+            raise RecoveryError("orchestrator used outside its session")
+        tracer = sched.tracer
+        if tracer.enabled:
+            tracer.emit("recovery", "recovery_start", ranks=list(dead),
+                        epoch=epoch, incarnation=rt.incarnation + 1)
+
+        # 1. kill every surviving process of the old incarnation: the
+        #    job is restarted whole (srun relaunch), survivors included
+        for m in rt.ranks:
+            for p in (m.proc, m.ckpt_proc, m.hb_proc):
+                if p is not None:
+                    sched.kill(p, reason=f"recovery to epoch {epoch}")
+
+        # 2. replace the lower half; in-flight traffic of the old
+        #    incarnation is lost with it
+        teardown = rt.crash_teardown()
+
+        # 3. fresh upper halves: new ManaRank per rank, staged to replay
+        #    its recorded history back to the durable epoch
+        work_lost = started - max(img.taken_at for img in images)
+        for old, img in zip(list(rt.ranks), images):
+            fresh = ManaRank(rt, old.rank)
+            fresh.vcomms.register_world(rt.lib.comm_world)
+            fresh.durable_image = img
+            fresh.last_image = img
+            fresh.mailbox = session.oob.reset(old.rank)
+            rt.ranks[old.rank] = fresh
+            session._procs[old.rank] = session._spawn_rank(
+                fresh,
+                reexec_payload={"state": img.payload(), "nbytes": img.nbytes},
+            )
+
+        rt.recovery_records.append(
+            {
+                "dead_ranks": list(dead),
+                "epoch": epoch,
+                "incarnation": rt.incarnation,
+                "detected_at": detection.get("detected_at", started),
+                "recovered_at": sched.now,
+                "work_lost": work_lost,
+                "helpers_killed": teardown["helpers_killed"],
+                "msgs_purged": teardown["msgs_purged"],
+            }
+        )
+        if tracer.enabled:
+            tracer.emit("recovery", "recovery_done", ranks=list(dead),
+                        epoch=epoch, work_lost=work_lost)
+        session.oob.send(COORDINATOR_ID, ("recovered", list(dead)))
 
 
 def resume_from_checkpoint(

@@ -13,9 +13,25 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.des.syscalls import Advance
 from repro.errors import CheckpointError
 from repro.mana.runtime import ManaRank, RankPhase, ReleaseMode
 from repro.simnet.oob import COORDINATOR_ID
+
+
+def heartbeat_body(mrank: ManaRank):
+    """Daemon coroutine: one rank's periodic liveness beacon.
+
+    It lives and dies with the rank's process — the fault injector kills
+    it alongside the main thread and checkpoint thread — so its silence
+    *is* the crash signal the coordinator's monitor detects.  The loop
+    ends at finalize, letting the event queue drain normally."""
+    interval = mrank.rt.cfg.heartbeat_interval
+    while not mrank.finalized:
+        yield Advance(interval)
+        if mrank.finalized:
+            return
+        mrank.rt.oob.send(COORDINATOR_ID, ("heartbeat", mrank.rank))
 
 
 def ckpt_thread_body(mrank: ManaRank):
@@ -24,7 +40,17 @@ def ckpt_thread_body(mrank: ManaRank):
     while True:
         msg = yield from box.get(mrank.ckpt_proc)
         kind = msg[0]
+        # Duplicate tolerance: the coordinator retransmits any 2PC
+        # message a silent rank might have missed (lossy-OOB fault
+        # scenarios), so every handler must treat a re-delivery of the
+        # original as benign — re-acknowledge, or ignore.
         if kind == "intent":
+            if mrank.intent and msg[1] == mrank.intent_epoch:
+                # duplicate: our state report was (suspected) lost.
+                # Re-send it WITHOUT resetting horizons/release state —
+                # the equalization already in progress must not restart.
+                mrank.resend_report()
+                continue
             mrank.intent = True
             mrank.intent_epoch = msg[1]
             mrank.horizons = {}
@@ -47,21 +73,40 @@ def ckpt_thread_body(mrank: ManaRank):
                     mrank.rt.sched.try_wake(mrank.proc)
         elif kind == "release":
             _, horizons, mode = msg
-            mrank.horizons.update(horizons)
+            mrank.horizons.update(horizons)  # idempotent on a duplicate
             mrank.release_mode = mode
             mrank.step_budget = 1 if mode is ReleaseMode.STEP else 0
             if mrank.awaiting_directive:
                 mrank.deliver_directive(("continue",))
         elif kind == "checkpoint":
-            mrank.deliver_directive(("checkpoint",))
+            if mrank.ckpt_done_info is not None:
+                # duplicate COMMIT: we already drained and wrote the
+                # image; only the ack was lost.  Re-acknowledge.
+                mrank.rt.oob.send(
+                    COORDINATOR_ID,
+                    ("ckpt_done", mrank.rank, dict(mrank.ckpt_done_info)),
+                )
+            elif mrank.awaiting_directive:
+                mrank.deliver_directive(("checkpoint",))
+            # else: mid-drain (main thread executing the checkpoint but
+            # not yet done) — the original arrived; drop the retry
         elif kind == "post_ckpt":
-            mrank.deliver_directive(("post_ckpt", msg[1]))
+            if mrank.awaiting_directive:
+                mrank.deliver_directive(("post_ckpt", msg[1]))
+            elif not mrank.intent:
+                # duplicate after we already resumed: only the resumed
+                # ack was lost.  Re-acknowledge.
+                mrank.rt.oob.send(COORDINATOR_ID, ("resumed", mrank.rank))
+            # else: mid-restart — the original arrived; drop the retry
         elif kind == "drain_verdict":
-            mrank.deliver_directive(("drain_verdict", msg[1]))
+            if mrank.awaiting_directive:
+                mrank.deliver_directive(("drain_verdict", msg[1]))
         elif kind == "finalize_ok":
-            mrank.deliver_directive(("finalize_ok",))
+            if mrank.awaiting_directive:
+                mrank.deliver_directive(("finalize_ok",))
         elif kind == "finalize_retry":
-            mrank.deliver_directive(("finalize_retry",))
+            if mrank.awaiting_directive:
+                mrank.deliver_directive(("finalize_retry",))
         else:
             raise CheckpointError(
                 f"rank {mrank.rank} checkpoint thread: unknown message {msg!r}"

@@ -12,6 +12,11 @@ from repro.simnet.message import Message
 
 DeliveryFn = Callable[[Message], None]
 
+#: a fault filter inspects a message at injection and returns None (let
+#: it through), ``("drop",)`` (it never crosses the fabric) or
+#: ``("delay", seconds)`` (extra transit time, e.g. a congested link)
+FaultFilter = Callable[[Message], Optional[tuple]]
+
 
 class NetworkStats:
     """Cumulative traffic counters (used by benches and Figure 4).
@@ -83,6 +88,17 @@ class Network:
         self.stats = NetworkStats()
         self._sealed = False
         self._purged: set = set()
+        #: messages eaten by an armed fault filter (never delivered)
+        self.dropped_messages = 0
+        self._fault_filter: Optional[FaultFilter] = None
+
+    # ------------------------------------------------------------------
+    def set_fault_filter(self, fn: Optional[FaultFilter]) -> None:
+        """Arm (or disarm with None) a fault filter consulted at every
+        injection.  The network never knows *why* a fault happens — the
+        policy lives entirely in the caller (``repro.faults``), keeping
+        this layer free of any upward dependency."""
+        self._fault_filter = fn
 
     # ------------------------------------------------------------------
     def attach_endpoint(self, world_rank: int, deliver: DeliveryFn) -> None:
@@ -114,9 +130,41 @@ class Network:
         if self._endpoints[msg.dst] is None:
             raise SimulationError(f"no endpoint attached for rank {msg.dst}")
         msg.injected_at = self._sched.now
+        extra_delay = 0.0
+        if self._fault_filter is not None:
+            action = self._fault_filter(msg)
+            if action is not None:
+                if action[0] == "drop":
+                    # lost on the wire: never recorded, never in flight
+                    self.dropped_messages += 1
+                    tr = self._sched.tracer
+                    if tr.enabled:
+                        tr.emit(
+                            "network", "fault_drop", rank=msg.src,
+                            dst=msg.dst, msg_id=msg.msg_id,
+                            ctx=msg.context_id, nbytes=msg.nbytes,
+                        )
+                    return
+                if action[0] == "delay":
+                    extra_delay = float(action[1])
+                    tr = self._sched.tracer
+                    if tr.enabled:
+                        tr.emit(
+                            "network", "fault_delay", rank=msg.src,
+                            dst=msg.dst, msg_id=msg.msg_id,
+                            delay=extra_delay,
+                        )
+                else:
+                    raise SimulationError(
+                        f"unknown fault-filter action {action!r}"
+                    )
         pair = (msg.src, msg.dst)
         intranode = self._machine.node_of(msg.src) == self._machine.node_of(msg.dst)
-        arrival = self._sched.now + self.transit_time(msg.src, msg.dst, msg.nbytes)
+        arrival = (
+            self._sched.now
+            + self.transit_time(msg.src, msg.dst, msg.nbytes)
+            + extra_delay
+        )
         prev = self._last_arrival.get(pair, -1.0)
         if arrival <= prev:
             arrival = prev + 1e-12  # preserve per-pair FIFO with distinct times

@@ -11,7 +11,7 @@ coordinator are handled one at a time).
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.des.mailbox import Mailbox
@@ -19,6 +19,14 @@ from repro.des.scheduler import Scheduler
 
 #: Endpoint ID of the centralized coordinator on the OOB channel.
 COORDINATOR_ID = -1
+
+#: Endpoint ID of the recovery orchestrator (the resource manager that
+#: relaunches a crashed job), when one is armed.
+RECOVERY_ID = -4
+
+#: a fault filter inspects (dst, item) at send time and returns None
+#: (deliver), ``("drop",)`` or ``("delay", seconds)``
+OobFaultFilter = Callable[[int, Any], Optional[tuple]]
 
 
 class OobChannel:
@@ -45,6 +53,9 @@ class OobChannel:
         self._coord_busy_until = 0.0
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: messages eaten by an armed fault filter
+        self.messages_dropped = 0
+        self._fault_filter: Optional[OobFaultFilter] = None
 
     def register(self, endpoint_id: int) -> Mailbox:
         if endpoint_id in self._mailboxes:
@@ -53,13 +64,46 @@ class OobChannel:
         self._mailboxes[endpoint_id] = box
         return box
 
+    def reset(self, endpoint_id: int) -> Mailbox:
+        """Replace an endpoint's mailbox with a fresh, empty one (a
+        crashed process's socket is gone; its replacement reconnects).
+        In-flight deliveries to the old mailbox land in the old object
+        and are never read."""
+        if endpoint_id not in self._mailboxes:
+            raise SimulationError(f"no OOB endpoint {endpoint_id} to reset")
+        box = Mailbox(self._sched, name=f"oob[{endpoint_id}]")
+        self._mailboxes[endpoint_id] = box
+        return box
+
+    def set_fault_filter(self, fn: Optional[OobFaultFilter]) -> None:
+        """Arm (or disarm with None) a fault filter consulted at every
+        send; the policy lives in ``repro.faults``, not here."""
+        self._fault_filter = fn
+
     def send(self, dst: int, item: Any, nbytes: int = 64) -> None:
         """Fire-and-forget send; delivery lands in the dst mailbox."""
         try:
             box = self._mailboxes[dst]
         except KeyError:
             raise SimulationError(f"no OOB endpoint {dst}") from None
-        delay = self.latency + nbytes * self.byte_time
+        extra_delay = 0.0
+        if self._fault_filter is not None:
+            action = self._fault_filter(dst, item)
+            if action is not None:
+                if action[0] == "drop":
+                    self.messages_dropped += 1
+                    tr = self._sched.tracer
+                    if tr.enabled:
+                        kind = item[0] if isinstance(item, tuple) else item
+                        tr.emit("oob", "fault_drop", dst=dst, msg_kind=kind)
+                    return
+                if action[0] == "delay":
+                    extra_delay = float(action[1])
+                else:
+                    raise SimulationError(
+                        f"unknown OOB fault-filter action {action!r}"
+                    )
+        delay = self.latency + nbytes * self.byte_time + extra_delay
         if dst == COORDINATOR_ID:
             # model the coordinator's single-threaded accept loop
             ready = max(self._sched.now + delay, self._coord_busy_until)

@@ -36,10 +36,15 @@ STAGES = (
     "virtualization",       # virtual→real ID translation
     "lower_half_costing",   # FS-register + per-call overhead charging
     "drain_accounting",     # per-pair byte/message bookkeeping
+    "checkpoint",           # per-rank drain / snapshot / image write
+    "restart",              # lower-half rebuild and rebinding
     "mpi_library",          # the lower half itself
     "network",              # fabric injections and deliveries
-    "scheduler",            # DES kernel: park/wake
+    "oob",                  # coordinator-channel faults
+    "scheduler",            # DES kernel: park/wake/kill
     "deadlock",             # waits-for analysis passes
+    "faults",               # injected failures (repro.faults)
+    "recovery",             # crash detection and rollback-restart
 )
 
 

@@ -1,0 +1,189 @@
+"""End-to-end fault injection and automatic recovery.
+
+The acceptance scenarios of the fault subsystem:
+
+* a rank is killed mid-run *after* a committed checkpoint and the job
+  completes with correct results via automatic rollback-restart;
+* a burst-buffer write fails mid-2PC and the coordinator aborts the
+  epoch cleanly — no wedge, no partial image counted as durable;
+* a 2PC COMMIT directive is dropped on the coordinator channel and the
+  bounded retransmit timer re-sends it.
+
+The named scenarios in :mod:`repro.faults.scenarios` are the single
+source of truth for how each is staged (the CLI and the fault benchmark
+run the same code); the tests here assert on their verdicts plus the
+structural facts each scenario reports.
+"""
+
+import pytest
+
+from repro.apps.micro import TokenRing
+from repro.faults import FaultInjector, FaultSchedule, FaultSpec
+from repro.faults.scenarios import run_scenario, scenario_names
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+
+
+# ----------------------------------------------------------------------
+# spec hygiene
+# ----------------------------------------------------------------------
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(kind="explode")
+    with pytest.raises(ValueError):
+        FaultSpec(kind="kill_rank", rank=0)        # no 'at'
+    with pytest.raises(ValueError):
+        FaultSpec(kind="oob_delay", match="intent")  # no positive delay
+    with pytest.raises(ValueError):
+        FaultSpec(kind="bb_write_fail", rank=0, frac=1.0)  # frac in [0,1)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="net_drop", count=0)
+
+
+def test_injector_arms_only_once():
+    sess = ManaSession(
+        2, lambda r: TokenRing(r, laps=2), TESTBOX,
+        ManaConfig.fault_tolerant(),
+    )
+    inj = FaultInjector(sess, FaultSchedule().kill_rank(0, at=1.0))
+    inj.arm()
+    with pytest.raises(RuntimeError):
+        inj.arm()
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenarios (seed-swept)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1, 5])
+def test_kill_after_checkpoint_recovers_automatically(seed):
+    s = run_scenario("kill-after-ckpt", seed=seed, nranks=4)
+    assert s["ok"], s
+    assert s["results_correct"]
+    assert s["recovery_count"] == 1
+    assert s["killed_at"] > 0
+    assert s["detection_latency"] > 0
+    assert s["work_lost"] > 0
+    # recovery costs time, it never invents speedup
+    assert s["elapsed"] > s["ref_elapsed"]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 5])
+def test_bb_write_failure_aborts_cleanly(seed):
+    s = run_scenario("bb-write-abort", seed=seed, nranks=4)
+    assert s["ok"], s
+    assert s["results_correct"]          # the job was never wedged
+    assert s["aborted_epochs"] == [2]
+    assert s["committed_epochs"] == [1]
+    assert s["durable_epochs"] == [1]    # the partial image is not durable
+
+
+@pytest.mark.parametrize("seed", [0, 1, 5])
+def test_dropped_commit_is_retransmitted(seed):
+    s = run_scenario("drop-commit", seed=seed, nranks=4)
+    assert s["ok"], s
+    assert s["dropped"] == 1
+    assert s["retry_rounds"] >= 1
+    assert s["committed_epochs"] == [1]
+
+
+@pytest.mark.parametrize("seed", [2, 9])
+def test_random_chaos_survives(seed):
+    s = run_scenario("random-chaos", seed=seed, nranks=4)
+    assert s["ok"], s
+    assert s["checkpoints_committed"] >= 1
+
+
+def test_every_scenario_passes_default_seed():
+    for name in scenario_names():
+        s = run_scenario(name, seed=0, nranks=4)
+        assert s["ok"], (name, s)
+
+
+# ----------------------------------------------------------------------
+# direct structural checks that the scenarios don't cover
+# ----------------------------------------------------------------------
+
+def _run(nranks, cfg, schedule=None, **run_kwargs):
+    factory = lambda r: TokenRing(r, laps=8, compute_s=2e-3)  # noqa: E731
+    expected = [TokenRing.expected(r, nranks, 8) for r in range(nranks)]
+    sess = ManaSession(nranks, factory, TESTBOX, cfg)
+    if schedule is not None:
+        FaultInjector(sess, schedule).arm()
+    out = sess.run(**run_kwargs)
+    return sess, out, expected
+
+
+def test_fault_free_fault_tolerant_run_matches_feature_2pc():
+    """Heartbeats and retry timers must not perturb virtual time."""
+    _, base, expected = _run(4, ManaConfig.feature_2pc())
+    _, ft, _ = _run(4, ManaConfig.fault_tolerant())
+    assert ft.results == expected
+    assert ft.elapsed == base.elapsed
+
+
+def test_delayed_oob_directive_is_survived():
+    """A slow coordinator channel stalls the cycle but corrupts nothing."""
+    _, base, expected = _run(4, ManaConfig.fault_tolerant())
+    plans = [CheckpointPlan(at=base.elapsed * 0.4, action="resume")]
+    sched = FaultSchedule().delay_oob("intent", delay=2e-3, count=2)
+    sess, out, _ = _run(
+        4, ManaConfig.fault_tolerant(), sched, checkpoints=plans
+    )
+    assert out.results == expected
+    assert len(out.faults) == 2
+    committed = [
+        r for r in out.checkpoints
+        if not r.get("aborted") and not r.get("skipped")
+    ]
+    assert len(committed) == 1
+
+
+def test_abort_then_next_epoch_commits():
+    """After a bb-write abort the *next* cycle succeeds and supersedes."""
+    _, base, expected = _run(4, ManaConfig.fault_tolerant())
+    plans = [
+        CheckpointPlan(at=base.elapsed * 0.3, action="resume"),
+        CheckpointPlan(at=base.elapsed * 0.6, action="resume"),
+    ]
+    sched = FaultSchedule().fail_bb_write(rank=1, epoch=1, frac=0.4)
+    sess, out, _ = _run(
+        4, ManaConfig.fault_tolerant(), sched, checkpoints=plans
+    )
+    assert out.results == expected
+    aborted = [r for r in out.checkpoints if r.get("aborted")]
+    committed = [
+        r for r in out.checkpoints
+        if not r.get("aborted") and not r.get("skipped")
+    ]
+    assert [r["epoch"] for r in aborted] == [1]
+    assert [r["epoch"] for r in committed] == [2]
+    assert all(m.durable_image.epoch == 2 for m in sess.rt.ranks)
+
+
+def test_recovery_accounting_is_coherent():
+    """work_lost = detection time - durable epoch's taken_at, in order."""
+    _, base, expected = _run(4, ManaConfig.fault_tolerant())
+    plans = [CheckpointPlan(at=base.elapsed * 0.3, action="resume")]
+    calib, with_ckpt, _ = _run(
+        4, ManaConfig.fault_tolerant(), checkpoints=list(plans)
+    )
+    committed_at = with_ckpt.checkpoints[0]["completed_at"]
+    kill_at = committed_at + (with_ckpt.elapsed - committed_at) * 0.4
+    sess, out, _ = _run(
+        4, ManaConfig.fault_tolerant(),
+        FaultSchedule().kill_rank(2, at=kill_at),
+        checkpoints=list(plans),
+    )
+    assert out.results == expected
+    (fault,) = [f for f in out.faults if f["kind"] == "kill_rank"]
+    (detection,) = out.detections
+    (recovery,) = out.recoveries
+    assert fault["rank"] == 2 and "main" in fault["killed"]
+    assert detection["detected_at"] > fault["at"]
+    assert recovery["dead_ranks"] == [2]
+    assert recovery["work_lost"] > 0
+    assert recovery["recovered_at"] >= detection["detected_at"]
+    assert recovery["incarnation"] == 1

@@ -1,0 +1,99 @@
+"""Same seed, same bits: the invariant seeded fault schedules stand on.
+
+Every scenario in ``repro.faults`` calibrates kill windows against a
+fault-free run of the same session and trusts that the faulted run is
+event-identical up to the first injected fault.  That only holds if two
+runs of the same workload with the same seed agree *bit for bit* — the
+final virtual time, every ``NetworkStats`` counter, the per-pair traffic
+ledgers.  These tests pin that contract, for plain runs, checkpointed
+runs, and runs with an injected crash and automatic recovery.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import pytest
+
+from repro.apps.micro import RandomPt2Pt, TokenRing
+from repro.faults import FaultInjector, FaultSchedule
+from repro.hosts import TESTBOX
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+
+SLOW = dict(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def fingerprint(session, out) -> dict:
+    """Everything two identical runs must agree on, bit for bit."""
+    s = session.network.stats
+    return {
+        "results": out.results,
+        "elapsed": out.elapsed,
+        "messages": s.messages,
+        "bytes": s.bytes,
+        "intranode": s.intranode_messages,
+        "internode": s.internode_messages,
+        "pair_messages": sorted(s.pair_messages.items()),
+        "pair_bytes": sorted(s.pair_bytes.items()),
+        "oob_messages": out.oob_messages,
+        "checkpoints": out.checkpoints,
+        "faults": out.faults,
+        "detections": out.detections,
+        "recoveries": out.recoveries,
+    }
+
+
+@settings(**SLOW)
+@given(
+    nranks=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+    frac=st.floats(min_value=0.1, max_value=0.8),
+)
+def test_property_checkpointed_run_is_bit_identical(nranks, seed, frac):
+    factory = lambda r: RandomPt2Pt(r, nranks, rounds=5, seed=seed)
+    cfg = ManaConfig.feature_2pc()
+    probe = ManaSession(nranks, factory, TESTBOX, cfg).run()
+    plans = [CheckpointPlan(at=probe.elapsed * frac, action="resume")]
+    prints = []
+    for _ in range(2):
+        sess = ManaSession(nranks, factory, TESTBOX, cfg)
+        out = sess.run(checkpoints=list(plans))
+        prints.append(fingerprint(sess, out))
+    assert prints[0] == prints[1]
+
+
+def _faulted_run(seed: int, nranks: int) -> dict:
+    """One kill-after-commit run with automatic recovery, fingerprinted."""
+    factory = lambda r: TokenRing(r, laps=8, compute_s=2e-3)  # noqa: E731
+    cfg = ManaConfig.fault_tolerant()
+    ref = ManaSession(nranks, factory, TESTBOX, ManaConfig.feature_2pc()).run()
+    plans = [CheckpointPlan(at=ref.elapsed * 0.3, action="resume")]
+    base = ManaSession(nranks, factory, TESTBOX, cfg).run(
+        checkpoints=list(plans)
+    )
+    committed = base.checkpoints[0]["completed_at"]
+    tail = base.elapsed - committed
+    sess = ManaSession(nranks, factory, TESTBOX, cfg)
+    plan = FaultSchedule(seed=seed).random_kill(
+        nranks, committed + 0.15 * tail, committed + 0.6 * tail
+    )
+    FaultInjector(sess, plan).arm()
+    out = sess.run(checkpoints=list(plans))
+    assert len(out.recoveries) == 1
+    return fingerprint(sess, out)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_faulted_run_is_bit_identical(seed):
+    assert _faulted_run(seed, 4) == _faulted_run(seed, 4)
+
+
+def test_fault_schedule_same_seed_same_specs():
+    a = FaultSchedule(seed=42).random_kill(8, 1.0, 2.0).random_oob_delays(3, 1e-3)
+    b = FaultSchedule(seed=42).random_kill(8, 1.0, 2.0).random_oob_delays(3, 1e-3)
+    assert a.specs == b.specs
+    c = FaultSchedule(seed=43).random_kill(8, 1.0, 2.0).random_oob_delays(3, 1e-3)
+    assert a.specs != c.specs

@@ -448,3 +448,19 @@ class TestLayeringLint:
         )
         found = check_layering.violations(bad)
         assert len(found) == 3
+
+    def test_lint_catches_a_faults_import_in_mechanism_code(self, tmp_path):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            import check_layering
+        finally:
+            sys.path.pop(0)
+        bad = tmp_path / "scheduler.py"
+        bad.write_text(
+            "from repro.faults import FaultInjector\n"
+            "import repro.faults.schedule\n"
+            "from repro.faults.schedule import FaultSpec\n"
+            "from repro.util.rng import make_rng\n"  # fine: not policy
+        )
+        found = check_layering.policy_violations(bad)
+        assert len(found) == 3

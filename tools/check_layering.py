@@ -1,13 +1,22 @@
 #!/usr/bin/env python
-"""Layering lint: the wrapper façade must stay a façade.
+"""Layering lint: façades stay façades, mechanism stays below policy.
 
-``src/repro/mana/wrappers.py`` routes every MPI entry point through the
-interposition pipeline (``repro/mana/pipeline/``).  Costing and drain
-accounting are pipeline stages; if ``wrappers.py`` ever imports
-``repro.mana.fsreg`` or ``repro.mana.counters`` again — directly or via
-``from repro.mana import fsreg`` — per-call logic is leaking back into
-the monolith.  This script walks the module's AST and fails on any such
-import.
+Two rules, both enforced by walking module ASTs:
+
+1. ``src/repro/mana/wrappers.py`` routes every MPI entry point through
+   the interposition pipeline (``repro/mana/pipeline/``).  Costing and
+   drain accounting are pipeline stages; if ``wrappers.py`` ever imports
+   ``repro.mana.fsreg`` or ``repro.mana.counters`` again — directly or
+   via ``from repro.mana import fsreg`` — per-call logic is leaking back
+   into the monolith.
+
+2. ``repro.faults`` is the *policy* layer for failures: it may depend on
+   des/simnet/mana, but nothing under ``src/repro/des/`` or
+   ``src/repro/simnet/`` may import ``repro.faults``.  Those layers
+   expose mechanism hooks (``Scheduler.kill``, the network/OOB fault
+   filters, ``ManaRuntime.bb_fault_hook``) and the injector installs
+   callbacks downward — a reverse import would make fault-free runs
+   depend on the fault subsystem.
 
 Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
 """
@@ -17,50 +26,93 @@ from __future__ import annotations
 import ast
 import sys
 from pathlib import Path
+from typing import List, Tuple
 
 REPO = Path(__file__).resolve().parent.parent
-TARGET = REPO / "src" / "repro" / "mana" / "wrappers.py"
+SRC = REPO / "src"
+WRAPPERS = SRC / "repro" / "mana" / "wrappers.py"
 
 #: modules the wrapper façade must not reach around the pipeline for
-FORBIDDEN = {"repro.mana.fsreg", "repro.mana.counters"}
-FORBIDDEN_LEAVES = {m.rsplit(".", 1)[1] for m in FORBIDDEN}
+WRAPPER_FORBIDDEN = ("repro.mana.fsreg", "repro.mana.counters")
+
+#: mechanism layers that must never import the fault policy layer
+MECHANISM_DIRS = ("repro/des", "repro/simnet")
+POLICY_PKG = "repro.faults"
 
 
-def violations(path: Path) -> list:
+def _imports(path: Path) -> List[Tuple[int, str, str]]:
+    """All (lineno, module, description) imports in one file."""
     tree = ast.parse(path.read_text(), filename=str(path))
-    bad = []
+    out = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
-                if alias.name in FORBIDDEN:
-                    bad.append((node.lineno, f"import {alias.name}"))
+                out.append((node.lineno, alias.name, f"import {alias.name}"))
         elif isinstance(node, ast.ImportFrom):
             mod = node.module or ""
-            if mod in FORBIDDEN:
-                bad.append((node.lineno, f"from {mod} import ..."))
-            elif mod == "repro.mana":
-                for alias in node.names:
-                    if alias.name in FORBIDDEN_LEAVES:
-                        bad.append(
-                            (node.lineno, f"from repro.mana import {alias.name}")
-                        )
+            for alias in node.names:
+                out.append(
+                    (node.lineno, f"{mod}.{alias.name}" if mod else alias.name,
+                     f"from {mod} import {alias.name}")
+                )
+    return out
+
+
+def _hits(mod: str, forbidden: str) -> bool:
+    return mod == forbidden or mod.startswith(forbidden + ".")
+
+
+def violations(path: Path) -> List[Tuple[int, str]]:
+    """Rule 1 on one file: forbidden wrapper-façade imports."""
+    return [
+        (lineno, desc) for lineno, mod, desc in _imports(path)
+        if any(_hits(mod, f) for f in WRAPPER_FORBIDDEN)
+    ]
+
+
+def policy_violations(path: Path) -> List[Tuple[int, str]]:
+    """Rule 2 on one file: mechanism-layer imports of ``repro.faults``."""
+    return [
+        (lineno, desc) for lineno, mod, desc in _imports(path)
+        if _hits(mod, POLICY_PKG)
+    ]
+
+
+def wrapper_violations() -> List[str]:
+    rel = WRAPPERS.relative_to(REPO)
+    return [
+        f"{rel}:{lineno}: forbidden import in wrapper façade: {desc}"
+        for lineno, desc in violations(WRAPPERS)
+    ]
+
+
+def faults_violations() -> List[str]:
+    bad = []
+    for subdir in MECHANISM_DIRS:
+        for path in sorted((SRC / subdir).rglob("*.py")):
+            rel = path.relative_to(REPO)
+            bad.extend(
+                f"{rel}:{lineno}: mechanism layer imports the fault "
+                f"policy layer: {desc}"
+                for lineno, desc in policy_violations(path)
+            )
     return bad
 
 
 def main() -> int:
-    bad = violations(TARGET)
+    bad = wrapper_violations() + faults_violations()
     if bad:
-        rel = TARGET.relative_to(REPO)
-        for lineno, desc in bad:
-            print(f"{rel}:{lineno}: forbidden import in wrapper façade: {desc}",
-                  file=sys.stderr)
+        for line in bad:
+            print(line, file=sys.stderr)
         print(
-            "wrappers.py must reach fsreg/counters only through the "
-            "pipeline stages (LowerHalfCosting / DrainAccounting)",
+            "layering rules: wrappers.py reaches fsreg/counters only "
+            "through pipeline stages; repro.des and repro.simnet never "
+            "import repro.faults (injection goes via registered hooks)",
             file=sys.stderr,
         )
         return 1
-    print("layering OK: wrappers.py imports neither fsreg nor counters")
+    print("layering OK: wrappers.py imports neither fsreg nor counters; "
+          "des/simnet do not import repro.faults")
     return 0
 
 
