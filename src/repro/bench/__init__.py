@@ -10,6 +10,7 @@ native and MANA sessions and extract the series each figure plots.
 from repro.bench.harness import (
     BenchScale,
     current_scale,
+    provenance,
     save_result,
     write_bench_json,
     fig2_point,
@@ -21,6 +22,7 @@ from repro.bench.harness import (
 __all__ = [
     "BenchScale",
     "current_scale",
+    "provenance",
     "save_result",
     "write_bench_json",
     "fig2_point",

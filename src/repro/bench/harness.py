@@ -7,6 +7,7 @@ import enum
 import json
 import os
 import pathlib
+import subprocess
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.dft_proxy import DftConfig, DftProxy, VaspWorkload
@@ -48,17 +49,64 @@ def save_result(name: str, text: str, data: Optional[dict] = None) -> None:
     print("\n" + text)
 
 
+def _git_sha() -> Optional[str]:
+    """The repo HEAD, or None outside a git checkout / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def provenance(machine: Optional[MachineSpec] = None,
+               seed: Optional[int] = None,
+               cfg: Optional[ManaConfig] = None) -> dict:
+    """The attribution stamp for a ``BENCH_*.json`` trajectory: which
+    commit produced it, on which machine model, from which seed, under
+    which exact configuration (as a stable hash of the full knob set —
+    two trajectories with different config hashes are not comparable)."""
+    prov: dict = {"git_sha": _git_sha(), "scale": current_scale().value}
+    if machine is not None:
+        prov["machine"] = machine.name
+    if seed is not None:
+        prov["seed"] = seed
+    if cfg is not None:
+        from repro.util.hashing import stable_hash
+
+        blob = json.dumps(
+            dataclasses.asdict(cfg), sort_keys=True, default=str
+        ).encode()
+        prov["config_hash"] = f"{stable_hash(blob):#018x}"
+    return prov
+
+
 def write_bench_json(name: str, data: dict,
-                     path: Optional[str] = None) -> pathlib.Path:
+                     path: Optional[str] = None,
+                     machine: Optional[MachineSpec] = None,
+                     seed: Optional[int] = None,
+                     cfg: Optional[ManaConfig] = None) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` — the machine-readable perf trajectory.
 
     Unlike :func:`save_result` (which archives under ``results/``), this
     lands a stable, sorted-key JSON file at the repo root (or ``path``)
-    so successive runs can be diffed and tracked over time.
+    so successive runs can be diffed and tracked over time.  Every file
+    carries a ``provenance`` stamp (git SHA, bench scale, and — when
+    given — machine preset, seed, and config hash) so trajectories stay
+    attributable across PRs; a ``provenance`` key already present in
+    ``data`` wins.
     """
     out = pathlib.Path(path) if path else pathlib.Path(f"BENCH_{name}.json")
+    stamped = dict(data)
+    stamped.setdefault(
+        "provenance", provenance(machine=machine, seed=seed, cfg=cfg)
+    )
     out.write_text(
-        json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+        json.dumps(stamped, indent=2, sort_keys=True, default=str) + "\n"
     )
     return out
 

@@ -21,7 +21,14 @@ from repro.apps.dft_proxy import DftConfig, DftProxy
 from repro.apps.md_proxy import MdConfig, MdProxy
 from repro.apps.micro import TokenRing
 from repro.apps.workloads import BY_NAME, TABLE_I
-from repro.hosts import CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX, machine_by_name
+from repro.hosts import (
+    CORI_HASWELL,
+    CORI_KNL,
+    PERLMUTTER,
+    TESTBOX,
+    TESTBOX_MN,
+    machine_by_name,
+)
 from repro.mana import ManaConfig, ManaSession
 from repro.mana.session import (
     HALTED,
@@ -29,6 +36,7 @@ from repro.mana.session import (
     resume_from_checkpoint,
     run_app_native,
 )
+from repro.storage import POLICIES, policy_by_name
 from repro.util.tables import AsciiTable
 
 CONFIGS = {
@@ -65,6 +73,8 @@ def cmd_run(args) -> int:
         out = run_app_native(args.ranks, factory, machine)
     else:
         cfg = CONFIGS[args.config]()
+        if getattr(args, "storage", None):
+            cfg = cfg.but(storage=policy_by_name(args.storage))
         plans = []
         if args.checkpoint_at:
             plans = [
@@ -129,7 +139,7 @@ def cmd_machines(_args) -> int:
          "kernel", "FSGSBASE"],
         title="machine models",
     )
-    for m in (CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX):
+    for m in (CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX, TESTBOX_MN):
         t.add_row(
             [m.name, m.cores_per_node, m.cpu_ghz,
              f"{m.flops_per_task / 1e9:.1f}", m.ranks_per_node,
@@ -220,7 +230,10 @@ def cmd_faults(args) -> int:
                   f"(elapsed {summary['elapsed']:.6f}s, "
                   f"fault-free {summary['ref_elapsed']:.6f}s)")
             for key in ("killed_rank", "detection_latency", "work_lost",
-                        "aborted_epochs", "durable_epochs", "retry_rounds"):
+                        "aborted_epochs", "durable_epochs", "retry_rounds",
+                        "degraded_epoch", "fallback_epoch",
+                        "zero_extra_work_lost", "victim_recovered_from",
+                        "verify_failed_events"):
                 if summary.get(key) is not None:
                     print(f"{'':>18}{key} = {summary[key]}")
         failures += 0 if summary["ok"] else 1
@@ -258,9 +271,13 @@ def main(argv: Optional[list] = None) -> int:
     run.add_argument("--workload", default="CaPOH", choices=sorted(BY_NAME))
     run.add_argument("--vasp6", action="store_true")
     run.add_argument("--machine", default="testbox",
-                     choices=["haswell", "knl", "perlmutter", "testbox"])
+                     choices=["haswell", "knl", "perlmutter", "testbox",
+                              "testbox-mn"])
     run.add_argument("--config", default="2pc",
                      choices=["native", "original", "master", "2pc", "ft"])
+    run.add_argument("--storage", default=None, choices=sorted(POLICIES),
+                     help="checkpoint storage redundancy policy "
+                          "(default: the config preset's, bb_only)")
     run.add_argument("--checkpoint-at", type=float, nargs="*",
                      help="virtual times to checkpoint at")
     run.add_argument("--checkpoint-interval", type=float, default=None,
@@ -287,7 +304,8 @@ def main(argv: Optional[list] = None) -> int:
     res.add_argument("--workload", default="CaPOH", choices=sorted(BY_NAME))
     res.add_argument("--vasp6", action="store_true")
     res.add_argument("--machine", default="testbox",
-                     choices=["haswell", "knl", "perlmutter", "testbox"])
+                     choices=["haswell", "knl", "perlmutter", "testbox",
+                              "testbox-mn"])
     res.add_argument("--config", default="2pc",
                      choices=["original", "master", "2pc", "ft"])
     res.add_argument("--show-results", action="store_true")

@@ -48,6 +48,18 @@ class FaultInjector:
         for i, spec in enumerate(self.schedule.specs):
             if spec.kind == "kill_rank":
                 sched.schedule_at(spec.at, self._make_kill(i, spec))
+            elif spec.kind == "tier_lost":
+                sched.schedule_at(spec.at, self._make_tier_loss(i, spec))
+            elif spec.kind == "node_loss":
+                sched.schedule_at(spec.at, self._make_node_loss(i, spec))
+            elif spec.kind == "blob_corrupt":
+                sched.schedule_at(spec.at, self._make_corrupt(i, spec))
+            elif spec.kind == "manifest_torn":
+                # armed immediately: the tear happens at the epoch's own
+                # commit point, whenever that is
+                if self._spend(i):
+                    self.rt.store.arm_manifest_tear(spec.epoch)
+                    self._record(i, spec, epoch=spec.epoch, armed=True)
         if self.schedule.by_kind("oob_drop", "oob_delay"):
             self.session.oob.set_fault_filter(self._oob_filter)
         if self.schedule.by_kind("net_drop", "net_delay"):
@@ -91,6 +103,61 @@ class FaultInjector:
             self._record(i, spec, rank=spec.rank, killed=killed)
 
         return kill
+
+    # ------------------------------------------------------------------
+    # storage faults: damage goes through the store's public fault
+    # surface (policy layer calling down into mechanism, never reverse)
+    # ------------------------------------------------------------------
+    def _make_tier_loss(self, i: int, spec: FaultSpec):
+        def lose() -> None:
+            if not self._spend(i):
+                return
+            dropped = self.rt.store.drop_tier(
+                spec.tier, rank=spec.rank, epoch=spec.epoch
+            )
+            self._record(i, spec, tier=spec.tier, rank=spec.rank,
+                         epoch=spec.epoch, copies_dropped=dropped)
+
+        return lose
+
+    def _make_node_loss(self, i: int, spec: FaultSpec):
+        def lose() -> None:
+            if not self._spend(i):
+                return
+            # the node's resident ranks crash exactly like kill_rank ...
+            machine = self.rt.machine
+            killed_ranks: List[int] = []
+            for mrank in self.rt.ranks:
+                if machine.node_of(mrank.rank) != spec.node:
+                    continue
+                if mrank.finalized:
+                    continue
+                for proc in (mrank.proc, mrank.ckpt_proc, mrank.hb_proc):
+                    if proc is not None:
+                        self.rt.sched.kill(
+                            proc, reason=f"fault: node_loss {spec.node}"
+                        )
+                killed_ranks.append(mrank.rank)
+            # ... and every checkpoint copy the node hosts dies with it
+            dropped = self.rt.store.drop_node(spec.node)
+            self._record(i, spec, node=spec.node, ranks=killed_ranks,
+                         copies_dropped=dropped)
+
+        return lose
+
+    def _make_corrupt(self, i: int, spec: FaultSpec):
+        def corrupt() -> None:
+            if not self._spend(i):
+                return
+            hit = self.rt.store.corrupt_copy(
+                spec.rank, tier=spec.tier, epoch=spec.epoch
+            )
+            # the injection is recorded (auditable), but the *store*
+            # stays silent: only read-path verification discovers it
+            self._record(i, spec, rank=spec.rank, tier=spec.tier,
+                         epoch=spec.epoch, corrupted=hit)
+
+        return corrupt
 
     # ------------------------------------------------------------------
     def _oob_filter(self, dst: int, item) -> Optional[Tuple]:

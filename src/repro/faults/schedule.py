@@ -21,6 +21,10 @@ KINDS = (
     "net_drop",       # lose matching fabric messages on the wire
     "net_delay",      # delay matching fabric messages
     "bb_write_fail",  # fail a rank's burst-buffer image write mid-2PC
+    "tier_lost",      # destroy checkpoint copies on one storage tier
+    "node_loss",      # a node dies: its ranks AND the copies it hosts
+    "blob_corrupt",   # silently flip a byte in one stored image copy
+    "manifest_torn",  # an epoch's manifest commit is a torn write
 )
 
 
@@ -42,6 +46,20 @@ class FaultSpec:
     * ``bb_write_fail``: rank ``rank``'s image write fails after
       ``frac`` of the write time, during epoch ``epoch`` (None = the
       next write), ``count`` times.
+    * ``tier_lost``: at virtual time ``at``, destroy the checkpoint
+      copies on storage tier ``tier`` (``local`` / ``partner`` / ``bb``
+      / ``parity``), scoped to ``rank`` and/or ``epoch`` when given.
+    * ``node_loss``: at ``at``, node ``node`` dies — its resident
+      ranks' processes crash AND every checkpoint copy the node hosts
+      (local copies, partner replicas for others, parity blocks) is
+      destroyed.  Burst-buffer copies survive.
+    * ``blob_corrupt``: at ``at``, silently flip one byte in rank
+      ``rank``'s stored copy (``tier``/``epoch`` narrow the target;
+      defaults pick the newest copy on the first tier that has one).
+      Detected only by checksum verification on the read path.
+    * ``manifest_torn``: epoch ``epoch``'s manifest write is torn at its
+      commit point — the epoch's copies exist but are undiscoverable,
+      so recovery must fall back past it.
     """
 
     kind: str
@@ -54,6 +72,8 @@ class FaultSpec:
     delay: float = 0.0
     epoch: Optional[int] = None
     frac: float = 0.5
+    tier: Optional[str] = None
+    node: Optional[int] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -68,6 +88,17 @@ class FaultSpec:
                 raise ValueError("bb_write_fail needs 'rank'")
             if not 0.0 <= self.frac < 1.0:
                 raise ValueError("bb_write_fail 'frac' must be in [0, 1)")
+        if self.kind == "tier_lost":
+            if self.at is None or self.tier is None:
+                raise ValueError("tier_lost needs 'at' and 'tier'")
+        if self.kind == "node_loss":
+            if self.at is None or self.node is None:
+                raise ValueError("node_loss needs 'at' and 'node'")
+        if self.kind == "blob_corrupt":
+            if self.at is None or self.rank is None:
+                raise ValueError("blob_corrupt needs 'at' and 'rank'")
+        if self.kind == "manifest_torn" and self.epoch is None:
+            raise ValueError("manifest_torn needs 'epoch'")
         if self.count < 1:
             raise ValueError("'count' must be >= 1")
 
@@ -117,6 +148,22 @@ class FaultSchedule:
                       frac: float = 0.5, count: int = 1) -> "FaultSchedule":
         return self.add(FaultSpec(kind="bb_write_fail", rank=rank,
                                   epoch=epoch, frac=frac, count=count))
+
+    def lose_tier(self, tier: str, at: float, rank: Optional[int] = None,
+                  epoch: Optional[int] = None) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="tier_lost", tier=tier, at=at,
+                                  rank=rank, epoch=epoch))
+
+    def lose_node(self, node: int, at: float) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="node_loss", node=node, at=at))
+
+    def corrupt_blob(self, rank: int, at: float, tier: Optional[str] = None,
+                     epoch: Optional[int] = None) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="blob_corrupt", rank=rank, at=at,
+                                  tier=tier, epoch=epoch))
+
+    def tear_manifest(self, epoch: int) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="manifest_torn", epoch=epoch))
 
     # -- seeded random builders ----------------------------------------
     def random_kill(self, nranks: int, t_min: float,

@@ -12,15 +12,24 @@ version (selects the FS-register cost tier of Section III-G), and burst
 buffer bandwidth (drives Figure 3 checkpoint/restart times).
 """
 
-from repro.hosts.machine import MachineSpec, BurstBuffer
-from repro.hosts.presets import CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX, machine_by_name
+from repro.hosts.machine import MachineSpec, BurstBuffer, LocalScratch
+from repro.hosts.presets import (
+    CORI_HASWELL,
+    CORI_KNL,
+    PERLMUTTER,
+    TESTBOX,
+    TESTBOX_MN,
+    machine_by_name,
+)
 
 __all__ = [
     "MachineSpec",
     "BurstBuffer",
+    "LocalScratch",
     "CORI_HASWELL",
     "CORI_KNL",
     "PERLMUTTER",
     "TESTBOX",
+    "TESTBOX_MN",
     "machine_by_name",
 ]

@@ -19,11 +19,35 @@ class BurstBuffer:
     write_bw: float = 1.6e9          # bytes/s sustained per node
     read_bw: float = 2.1e9           # bytes/s sustained per node
 
-    def write_time(self, nbytes: int) -> float:
-        return self.latency + nbytes / self.write_bw
+    def write_time(self, nbytes: int, sharers: int = 1) -> float:
+        """Seconds to write one rank's ``nbytes`` when ``sharers`` ranks
+        on the node stream concurrently (per-node bandwidth is shared)."""
+        return self.latency + nbytes * sharers / self.write_bw
 
-    def read_time(self, nbytes: int) -> float:
-        return self.latency + nbytes / self.read_bw
+    def read_time(self, nbytes: int, sharers: int = 1) -> float:
+        return self.latency + nbytes * sharers / self.read_bw
+
+
+@dataclass(frozen=True)
+class LocalScratch:
+    """Node-local scratch (tmpfs / local NVMe) used as the first storage
+    tier for checkpoint images.
+
+    Much lower latency than the burst buffer and higher per-stream
+    bandwidth, but the copy dies with the node: redundancy (partner
+    replica, XOR parity) or the burst buffer must back it up before an
+    epoch may be declared durable.
+    """
+
+    latency: float = 0.1e-3          # local file open/fsync
+    write_bw: float = 2.5e9          # bytes/s per node (local NVMe)
+    read_bw: float = 3.5e9
+
+    def write_time(self, nbytes: int, sharers: int = 1) -> float:
+        return self.latency + nbytes * sharers / self.write_bw
+
+    def read_time(self, nbytes: int, sharers: int = 1) -> float:
+        return self.latency + nbytes * sharers / self.read_bw
 
 
 @dataclass(frozen=True)
@@ -68,6 +92,10 @@ class MachineSpec:
     base_image_bytes: int = 96 << 20
 
     burst_buffer: BurstBuffer = field(default_factory=BurstBuffer)
+    local_scratch: LocalScratch = field(default_factory=LocalScratch)
+    #: effective XOR-encode/decode bandwidth for group-parity redundancy
+    #: (memory-bound streaming XOR over the serialized blob), bytes/s
+    parity_xor_bw: float = 4.0e9
 
     # ------------------------------------------------------------------
     def node_of(self, world_rank: int) -> int:

@@ -89,7 +89,27 @@ TESTBOX = MachineSpec(
     base_image_bytes=1 << 20,  # keep test-scale checkpoints fast
 )
 
-_PRESETS = {m.name: m for m in (CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX)}
+#: TESTBOX spread one rank per node: storage-redundancy scenarios need a
+#: job that spans several nodes (partner replicas and XOR parity blocks
+#: live on *other* nodes, and a node-loss fault must not take the whole
+#: job), which the 8-ranks-per-node TESTBOX can't give at test scale.
+TESTBOX_MN = MachineSpec(
+    name="testbox-mn",
+    cores_per_node=8,
+    threads_per_core=1,
+    cpu_ghz=3.0,
+    flops_per_task=20.0e9,
+    sw_overhead_scale=1.0,
+    ranks_per_node=1,
+    linux_kernel="5.15",
+    mem_per_node=32 << 30,
+    base_image_bytes=1 << 20,  # keep test-scale checkpoints fast
+)
+
+_PRESETS = {
+    m.name: m
+    for m in (CORI_HASWELL, CORI_KNL, PERLMUTTER, TESTBOX, TESTBOX_MN)
+}
 
 
 def machine_by_name(name: str) -> MachineSpec:

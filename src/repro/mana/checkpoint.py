@@ -15,6 +15,8 @@ have, which is recorded separately from the genuinely serialized bytes.
 
 from __future__ import annotations
 
+import json
+import struct
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -25,9 +27,13 @@ from repro.mana.drain import drain_alltoall, drain_coordinator
 from repro.mana.runtime import ManaRank, RankPhase
 from repro.simnet.oob import COORDINATOR_ID
 from repro.util import serde
+from repro.util.hashing import stable_hash
 
 #: memory-serialization speed for image construction, bytes/second
 SERIALIZE_BW = 2.0e9
+
+#: frame magic for a serialized CheckpointImage (header + blob)
+_IMAGE_MAGIC = b"MANA2IMG"
 
 
 @dataclass
@@ -45,6 +51,9 @@ class CheckpointImage:
     base_bytes: int = 96 << 20
     #: image written with compression (DMTCP --gzip analog)
     compressed: bool = False
+    #: BLAKE2 content checksum over ``blob``, recorded at build time;
+    #: None only for hand-built images that predate verification
+    checksum: Optional[int] = None
 
     @property
     def nbytes(self) -> int:
@@ -59,8 +68,87 @@ class CheckpointImage:
             )
         return len(self.blob) + self.declared_app_bytes + self.base_bytes
 
+    def verify(self) -> None:
+        """Checksum the blob against the value recorded at build time.
+
+        Raises :class:`CheckpointError` naming the rank and epoch — never
+        a raw serde/pickle error — so a corrupt image is attributable.
+        """
+        if self.checksum is not None and stable_hash(self.blob) != self.checksum:
+            raise CheckpointError(
+                f"rank {self.rank} epoch {self.epoch}: checkpoint image "
+                f"blob failed checksum verification "
+                f"(expected {self.checksum:#018x})"
+            )
+
     def payload(self) -> dict:
+        self.verify()
         return serde.loads(self.blob)
+
+    # ------------------------------------------------------------------
+    # byte-level serialization: header outside the checksummed blob (so
+    # blob corruption is caught by verification, not by pickle), with
+    # its own checksum (so header corruption is caught before any field
+    # is trusted — a flipped byte in still-valid JSON must not silently
+    # alter metadata)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        header = json.dumps(
+            {
+                "rank": self.rank,
+                "epoch": self.epoch,
+                "declared_app_bytes": self.declared_app_bytes,
+                "taken_at": self.taken_at,
+                "base_bytes": self.base_bytes,
+                "compressed": self.compressed,
+                "checksum": (self.checksum if self.checksum is not None
+                             else stable_hash(self.blob)),
+                "blob_len": len(self.blob),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        return (_IMAGE_MAGIC + struct.pack("<IQ", len(header),
+                                           stable_hash(header))
+                + header + self.blob)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "CheckpointImage":
+        if len(raw) < len(_IMAGE_MAGIC) + 12 or not raw.startswith(_IMAGE_MAGIC):
+            raise CheckpointError("not a checkpoint image frame (bad magic)")
+        off = len(_IMAGE_MAGIC)
+        hlen, hsum = struct.unpack_from("<IQ", raw, off)
+        off += 12
+        header_bytes = raw[off:off + hlen]
+        if stable_hash(header_bytes) != hsum:
+            raise CheckpointError(
+                "checkpoint image header failed checksum verification "
+                f"(expected {hsum:#018x})"
+            )
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint image header unreadable: {exc}"
+            ) from None
+        blob = raw[off + hlen:]
+        if len(blob) != header["blob_len"]:
+            raise CheckpointError(
+                f"rank {header['rank']} epoch {header['epoch']}: checkpoint "
+                f"image truncated ({len(blob)} of {header['blob_len']} "
+                "blob bytes)"
+            )
+        image = cls(
+            rank=header["rank"],
+            epoch=header["epoch"],
+            blob=blob,
+            declared_app_bytes=header["declared_app_bytes"],
+            taken_at=header["taken_at"],
+            base_bytes=header["base_bytes"],
+            compressed=header["compressed"],
+            checksum=header["checksum"],
+        )
+        image.verify()
+        return image
 
 
 def build_image(mrank: ManaRank) -> CheckpointImage:
@@ -93,22 +181,24 @@ def build_image(mrank: ManaRank) -> CheckpointImage:
         taken_at=mrank.rt.sched.now,
         base_bytes=mrank.rt.machine.base_image_bytes,
         compressed=compress,
+        checksum=stable_hash(blob),
     )
 
 
 def bb_write_time(mrank: ManaRank, nbytes: int) -> float:
-    """Burst-buffer write time; node bandwidth shared by the node's ranks."""
+    """Burst-buffer write time; node bandwidth shared by the node's
+    ranks.  The cost formula lives in the machine model
+    (:meth:`~repro.hosts.machine.BurstBuffer.write_time`); this wrapper
+    only supplies the sharers factor."""
     machine = mrank.rt.machine
-    bb = machine.burst_buffer
     sharers = min(machine.ranks_per_node, mrank.rt.nranks)
-    return bb.latency + nbytes * sharers / bb.write_bw
+    return machine.burst_buffer.write_time(nbytes, sharers)
 
 
 def bb_read_time(mrank: ManaRank, nbytes: int) -> float:
     machine = mrank.rt.machine
-    bb = machine.burst_buffer
     sharers = min(machine.ranks_per_node, mrank.rt.nranks)
-    return bb.latency + nbytes * sharers / bb.read_bw
+    return machine.burst_buffer.read_time(nbytes, sharers)
 
 
 def _materialize_done_irecvs(mrank: ManaRank) -> None:
@@ -160,15 +250,31 @@ def run_checkpoint_cycle(mrank: ManaRank):
     serialize_time = rt.machine.sw_time(
         (len(image.blob) + image.declared_app_bytes) / serialize_bw
     )
-    write_time = bb_write_time(mrank, image.nbytes)
+    # tier placement plan: pre-burst-buffer tiers (local scratch, partner
+    # replica, XOR parity) and the burst-buffer stream itself.  For the
+    # legacy bb_only policy the pre-BB part is exactly 0.0 and the BB
+    # part reproduces the historical write time bit-for-bit.
+    pre_time, bb_time = rt.store.plan_write(mrank.rank, image.nbytes)
 
     # burst-buffer write: the fault layer may declare the device failed
     # after some fraction of the bytes landed
     fail_frac = rt.bb_fault_hook(mrank, image) if rt.bb_fault_hook else None
     if fail_frac is None:
-        yield Advance(serialize_time + write_time)
-        # only a *fully written* image is a restart candidate
+        yield Advance(serialize_time + pre_time + bb_time)
+        # only a *fully written* image is a restart candidate; register
+        # every tier copy with the store (the epoch stays non-durable
+        # until the coordinator's commit point seals its manifest)
         mrank.last_image = image
+        rt.store.put(
+            mrank.rank, image.epoch, image.blob, image.nbytes,
+            meta={
+                "taken_at": image.taken_at,
+                "declared_app_bytes": image.declared_app_bytes,
+                "base_bytes": image.base_bytes,
+                "compressed": image.compressed,
+            },
+            now=rt.sched.now,
+        )
         mrank.ckpt_done_info = {"nbytes": image.nbytes}
         if tracer.enabled:
             tracer.emit("checkpoint", "bb_write_ok", rank=mrank.rank,
@@ -179,8 +285,9 @@ def run_checkpoint_cycle(mrank: ManaRank):
         )
     else:
         # partial write, then the device error surfaces; the bytes on
-        # the burst buffer are garbage and last_image stays untouched
-        yield Advance(serialize_time + write_time * fail_frac)
+        # storage are garbage, nothing is registered with the store, and
+        # last_image stays untouched
+        yield Advance(serialize_time + pre_time + bb_time * fail_frac)
         if tracer.enabled:
             tracer.emit("checkpoint", "bb_write_failed", rank=mrank.rank,
                         epoch=image.epoch, frac=fail_frac)

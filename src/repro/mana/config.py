@@ -11,6 +11,8 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.storage import StoragePolicy
+
 
 class CollectiveMode(enum.Enum):
     """How wrappers execute blocking collective communication."""
@@ -157,6 +159,14 @@ class ManaConfig:
     twopc_retry_backoff: float = 2.0
     #: bounded retry: give up (CheckpointError) after this many rounds
     twopc_max_retries: int = 8
+    # ------------------------------------------------------------------
+    # checkpoint storage (tier placement + redundancy, repro.storage)
+    # ------------------------------------------------------------------
+    #: where checkpoint images physically live and what redundancy an
+    #: epoch needs before the coordinator may declare it durable.  The
+    #: default reproduces the legacy single-burst-buffer-copy model
+    #: bit-for-bit; see ``repro.storage.policy`` for presets
+    storage: StoragePolicy = field(default_factory=StoragePolicy.bb_only)
     overheads: OverheadModel = field(default_factory=OverheadModel)
 
     # ------------------------------------------------------------------

@@ -269,6 +269,7 @@ class Coordinator:
                 "completed_at": now,
             }
             self.records.append(record)
+            self.rt.store.discard_epoch(self.epoch)
             self._finish_cycle(record)
         elif self.phase == "post":
             # the epoch committed before the crash (every image is on
@@ -576,12 +577,15 @@ class Coordinator:
             "post_action": self.post_action,
         }
         self.records.append(record)
-        # COMMIT POINT: every image is on the burst buffer.  Marking the
-        # epoch durable is one coordinator-side manifest write (a single
-        # callback in virtual time), so there is no window where some
-        # ranks consider the epoch durable and others do not.
+        # COMMIT POINT: every image reached its configured tiers.
+        # Marking the epoch durable is one coordinator-side manifest
+        # write (a single callback in virtual time), so there is no
+        # window where some ranks consider the epoch durable and others
+        # do not.  Sealing the manifest also garbage-collects epochs
+        # superseded beyond the policy's retention.
         for m in self.rt.ranks:
             m.durable_image = m.last_image
+        self.rt.store.commit_epoch(self.epoch, now=self.rt.sched.now)
         if self.post_action == "halt":
             # the job is being killed after the image write: no resumes
             record["cycle_time"] = self.rt.sched.now - record["requested_at"]
@@ -617,6 +621,9 @@ class Coordinator:
                 "recovery", "ckpt_aborted", epoch=self.epoch,
                 failed_ranks=sorted(self.failed_ranks),
             )
+        # the epoch never sealed: whatever tier copies the successful
+        # ranks registered must not linger as restart bait
+        self.rt.store.discard_epoch(self.epoch)
         self._cycle_aborted = True
         self.phase = "post"
         for mrank in self.rt.ranks:

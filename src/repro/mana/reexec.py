@@ -134,7 +134,13 @@ def reexec_transition(api: ManaApi):
     mrank._reexec_image = None
 
     nbytes = getattr(mrank, "_reexec_nbytes", 0)
-    yield Advance(bb_read_time(mrank, nbytes))
+    # crash recovery threads the tier-accurate (and already verified)
+    # read time through the reexec payload; the save/resume file path
+    # has no store and models a plain burst-buffer read
+    read_time = getattr(mrank, "_reexec_read_time", None)
+    if read_time is None:
+        read_time = bb_read_time(mrank, nbytes)
+    yield Advance(read_time)
     if tracer.enabled:
         tracer.emit("restart", "image_read", rank=mrank.rank,
                     nbytes=nbytes, mode="reexec")

@@ -24,7 +24,6 @@ from typing import Dict, List
 
 from repro.des.syscalls import Advance
 from repro.errors import RestartError
-from repro.mana.checkpoint import bb_read_time
 from repro.mana.config import CommReconstruction
 from repro.mana.runtime import ManaRank
 from repro.simmpi.constants import COMM_NULL
@@ -196,10 +195,21 @@ def perform_restart(mrank: ManaRank):
 
     image = mrank.last_image
     if image is not None:
-        yield Advance(bb_read_time(mrank, image.nbytes))
+        # checksum-verified read through the tier ladder: the store
+        # charges every attempted tier (failed verifications included)
+        # and never hands back unverified bytes
+        result = rt.store.recover(mrank.rank, image.epoch)
+        if not result.ok:
+            raise RestartError(
+                f"rank {mrank.rank}: no verifiable copy of epoch "
+                f"{image.epoch} on any storage tier "
+                f"(attempts: {result.attempts})"
+            )
+        yield Advance(result.read_time)
         if tracer.enabled:
             tracer.emit("restart", "image_read", rank=mrank.rank,
-                        epoch=image.epoch, nbytes=image.nbytes)
+                        epoch=image.epoch, nbytes=image.nbytes,
+                        tier=result.source)
 
     mrank.fortran.rebind(rt.fortran_linkage)
 

@@ -37,6 +37,7 @@ from repro.simmpi.group import Group
 from repro.simmpi.library import MpiLibrary, RankTask
 from repro.simnet.network import Network
 from repro.simnet.oob import COORDINATOR_ID, OobChannel
+from repro.storage import CheckpointStore
 
 
 class RankPhase(enum.Enum):
@@ -208,6 +209,14 @@ class ManaRuntime:
         self.fortran_linkage = FortranLinkage(self.incarnation)
         self.lib = MpiLibrary(sched, network, machine, incarnation=0)
         self.internal_comm = self._make_internal_comm()
+
+        #: the tiered checkpoint store.  Deliberately *outside* the lower
+        #: half: burst-buffer and partner copies survive crash_teardown
+        #: (only what a real node loss destroys is removed, by the fault
+        #: layer calling the store's drop hooks).
+        self.store = CheckpointStore(
+            machine, nranks, cfg.storage, tracer=sched.tracer
+        )
 
         self.ranks: List[ManaRank] = [ManaRank(self, r) for r in range(nranks)]
         for mrank in self.ranks:

@@ -70,6 +70,9 @@ class RunOutcome:
     faults: List[dict] = field(default_factory=list)
     detections: List[dict] = field(default_factory=list)
     recoveries: List[dict] = field(default_factory=list)
+    #: checkpoint-store summary (policy, committed epochs, tier copies,
+    #: verification failures, parity rebuilds, ...)
+    storage: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_collective_calls(self) -> int:
@@ -186,6 +189,9 @@ class ManaSession:
             if reexec_payload is not None:
                 mrank._reexec_image = reexec_payload["state"]
                 mrank._reexec_nbytes = reexec_payload["nbytes"]
+                # crash recovery supplies the tier-accurate image read
+                # time (wasted attempts at unrecoverable epochs included)
+                mrank._reexec_read_time = reexec_payload.get("read_time")
                 log = ReplayLog(
                     list(reexec_payload["state"]["replay_log"]), replaying=True
                 )
@@ -334,6 +340,7 @@ class ManaSession:
             faults=list(rt.fault_records),
             detections=list(self.coordinator.detections),
             recoveries=list(rt.recovery_records),
+            storage=rt.store.summary(),
         )
 
 
@@ -420,28 +427,62 @@ class RecoveryOrchestrator:
             self._recover(dead=msg[1], detection=msg[2])
 
     # ------------------------------------------------------------------
+    def _select_epoch(self, dead: List[int]):
+        """Walk the committed epochs newest-first; at each, try to
+        recover every rank's image through the storage tier ladder.
+
+        The first epoch where *all* ranks produce verified bytes wins.
+        Reads spent at epochs that turn out unrecoverable are not free:
+        their per-rank cost is carried into the chosen epoch's read
+        times.  Returns ``(epoch, {rank: RecoverResult}, wasted, fallbacks)``.
+        """
+        rt = self.rt
+        store = rt.store
+        tracer = rt.sched.tracer
+        epochs = store.committed_epochs()
+        if not epochs:
+            raise RecoveryError(
+                f"ranks {dead} crashed but no committed checkpoint epoch "
+                "is recoverable; nothing to roll back to"
+            )
+        wasted = {m.rank: 0.0 for m in rt.ranks}
+        fallbacks = 0
+        for epoch in epochs:
+            results = {
+                m.rank: store.recover(m.rank, epoch) for m in rt.ranks
+            }
+            bad = sorted(r for r, res in results.items() if not res.ok)
+            if not bad:
+                return epoch, results, wasted, fallbacks
+            # this epoch cannot restart the whole job: degrade to the
+            # next older durable epoch, charging the attempts made here
+            fallbacks += 1
+            for r, res in results.items():
+                wasted[r] += res.read_time
+            if tracer.enabled:
+                tracer.emit("recovery", "epoch_fallback", epoch=epoch,
+                            unrecoverable=bad)
+        raise RecoveryError(
+            f"ranks {dead} crashed and no committed epoch "
+            f"{epochs} is fully recoverable on any storage tier; "
+            "nothing to roll back to"
+        )
+
+    # ------------------------------------------------------------------
     def _recover(self, dead: List[int], detection: dict) -> None:
+        from repro.mana.checkpoint import CheckpointImage
+        from repro.util.hashing import stable_hash
+
         rt, session = self.rt, self.session
         sched = rt.sched
         started = sched.now
-
-        # 0. validate: recovery needs one consistent durable epoch
-        images = [m.durable_image for m in rt.ranks]
-        missing = [m.rank for m, img in zip(rt.ranks, images) if img is None]
-        if missing:
-            raise RecoveryError(
-                f"ranks {dead} crashed but ranks {missing} have no durable "
-                "checkpoint image; nothing to roll back to"
-            )
-        epochs = {img.epoch for img in images}
-        if len(epochs) != 1:
-            raise RecoveryError(
-                f"durable images span epochs {sorted(epochs)}; the commit "
-                "manifest is inconsistent (coordinator bug)"
-            )
-        epoch = epochs.pop()
         if session.recovery is not self:
             raise RecoveryError("orchestrator used outside its session")
+
+        # 0. pick the newest fully-recoverable durable epoch (the
+        #    degraded-recovery ladder: verified primary → replica/parity
+        #    rebuild → older epoch)
+        epoch, results, wasted, fallbacks = self._select_epoch(dead)
         tracer = sched.tracer
         if tracer.enabled:
             tracer.emit("recovery", "recovery_start", ranks=list(dead),
@@ -459,9 +500,26 @@ class RecoveryOrchestrator:
         teardown = rt.crash_teardown()
 
         # 3. fresh upper halves: new ManaRank per rank, staged to replay
-        #    its recorded history back to the durable epoch
-        work_lost = started - max(img.taken_at for img in images)
-        for old, img in zip(list(rt.ranks), images):
+        #    its recorded history back to the durable epoch.  Each rank's
+        #    image is rebuilt from the *verified* recovered bytes, and
+        #    the tier-accurate read cost rides along so the reexec
+        #    transition charges it in virtual time.
+        work_lost = started - max(
+            res.meta["taken_at"] for res in results.values()
+        )
+        sources = {r: res.source for r, res in results.items()}
+        for old in list(rt.ranks):
+            res = results[old.rank]
+            img = CheckpointImage(
+                rank=old.rank,
+                epoch=epoch,
+                blob=res.blob,
+                declared_app_bytes=res.meta["declared_app_bytes"],
+                taken_at=res.meta["taken_at"],
+                base_bytes=res.meta["base_bytes"],
+                compressed=res.meta["compressed"],
+                checksum=stable_hash(res.blob),
+            )
             fresh = ManaRank(rt, old.rank)
             fresh.vcomms.register_world(rt.lib.comm_world)
             fresh.durable_image = img
@@ -470,7 +528,11 @@ class RecoveryOrchestrator:
             rt.ranks[old.rank] = fresh
             session._procs[old.rank] = session._spawn_rank(
                 fresh,
-                reexec_payload={"state": img.payload(), "nbytes": img.nbytes},
+                reexec_payload={
+                    "state": img.payload(),
+                    "nbytes": img.nbytes,
+                    "read_time": res.read_time + wasted[old.rank],
+                },
             )
 
         rt.recovery_records.append(
@@ -481,13 +543,16 @@ class RecoveryOrchestrator:
                 "detected_at": detection.get("detected_at", started),
                 "recovered_at": sched.now,
                 "work_lost": work_lost,
+                "epoch_fallbacks": fallbacks,
+                "storage_sources": sources,
                 "helpers_killed": teardown["helpers_killed"],
                 "msgs_purged": teardown["msgs_purged"],
             }
         )
         if tracer.enabled:
             tracer.emit("recovery", "recovery_done", ranks=list(dead),
-                        epoch=epoch, work_lost=work_lost)
+                        epoch=epoch, work_lost=work_lost,
+                        fallbacks=fallbacks)
         session.oob.send(COORDINATOR_ID, ("recovered", list(dead)))
 
 

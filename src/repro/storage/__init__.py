@@ -1,0 +1,42 @@
+"""Tiered checkpoint storage: where each image physically lives.
+
+MANA-2.0's production incidents at NERSC were dominated by storage-side
+failures, not protocol bugs (Chouhan et al.).  This package models the
+storage side of checkpointing: each rank's serialized image flows through
+a ladder of tiers — node-local scratch, a partner-node replica and/or an
+XOR-encoded group parity block, and the burst buffer — with per-tier
+bandwidth/latency charged in virtual time, per-epoch versioned manifests
+carrying content checksums over the real blob bytes, and garbage
+collection of superseded epochs.
+
+Layering: this is *mechanism*.  It may import ``repro.hosts`` (the
+machine model supplies tier costs) and ``repro.util`` (checksums,
+tracing), but never ``repro.mana`` (the protocol decides *when* to write
+and commit) and never ``repro.faults`` (the policy layer injects damage
+through the public fault surface: :meth:`CheckpointStore.drop_tier`,
+:meth:`~CheckpointStore.drop_node`, :meth:`~CheckpointStore.corrupt_copy`,
+:meth:`~CheckpointStore.arm_manifest_tear`).  ``tools/check_layering.py``
+enforces both directions.
+"""
+
+from repro.storage.policy import StoragePolicy, policy_by_name, POLICIES
+from repro.storage.store import (
+    TIERS,
+    CheckpointStore,
+    Manifest,
+    ManifestEntry,
+    RecoverResult,
+    StoredCopy,
+)
+
+__all__ = [
+    "StoragePolicy",
+    "policy_by_name",
+    "POLICIES",
+    "TIERS",
+    "CheckpointStore",
+    "Manifest",
+    "ManifestEntry",
+    "RecoverResult",
+    "StoredCopy",
+]

@@ -1,0 +1,130 @@
+"""Redundancy policy: which tiers an epoch must reach to count as durable.
+
+A :class:`StoragePolicy` is pure configuration — a frozen value object the
+protocol layer embeds in its config and hands to the
+:class:`~repro.storage.store.CheckpointStore`.  The presets span the
+design space the paper's deployment actually faces:
+
+``bb_only``
+    The legacy model (and the default): every rank streams its image
+    straight to the burst buffer.  No local copy, no redundancy beyond
+    whatever the BB itself provides.  Bit-identical virtual-time costs to
+    the pre-storage-subsystem simulator.
+
+``local_only``
+    Node-local scratch only.  Fastest writes, but a node loss destroys
+    the only copy of that node's images — recovery must fall back to an
+    older epoch that is still fully present (there is none unless
+    ``keep_epochs`` retains it), so this is the "redundancy disabled"
+    baseline for degraded-recovery experiments.
+
+``partner``
+    Local copy plus a replica pushed to the next node over the network.
+    A single node loss leaves every image recoverable at the same epoch.
+
+``xor``
+    Local copy plus an XOR parity block per group of ``parity_group``
+    ranks (in the style of diskless checkpointing à la Plank).  Any
+    single lost member of a group is reconstructable from the survivors
+    plus parity at ~1/g storage overhead instead of 2x.
+
+``ladder``
+    Local + partner + burst buffer: the full tier ladder, for exercising
+    every rung of degraded recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class StoragePolicy:
+    """Which tiers to write and how many epochs to retain.
+
+    An epoch becomes *durable* only once every configured tier holds a
+    verified copy for every rank; the coordinator's phase-2 commit point
+    asks the store to seal the epoch's manifest at exactly that moment.
+    """
+
+    name: str
+    node_local: bool = False         # keep a copy on node-local scratch
+    partner_replica: bool = False    # push a replica to the partner node
+    parity_group: int = 0            # XOR parity over groups of g ranks (0=off)
+    burst_buffer: bool = True        # stream a copy to the burst buffer
+    keep_epochs: int = 2             # sealed epochs retained before GC
+
+    def __post_init__(self) -> None:
+        if not (self.node_local or self.partner_replica
+                or self.parity_group or self.burst_buffer):
+            raise ValueError(f"policy {self.name!r} writes to no tier at all")
+        if self.parity_group == 1 or self.parity_group < 0:
+            raise ValueError(
+                f"parity_group must be 0 (off) or >= 2, got {self.parity_group}"
+            )
+        if self.parity_group and not self.node_local:
+            raise ValueError(
+                "XOR parity reconstructs from surviving members' local "
+                "copies; parity_group requires node_local"
+            )
+        if self.partner_replica and not self.node_local:
+            raise ValueError(
+                "a partner replica is a copy of the local image; "
+                "partner_replica requires node_local"
+            )
+        if self.keep_epochs < 1:
+            raise ValueError(f"keep_epochs must be >= 1, got {self.keep_epochs}")
+
+    @property
+    def redundant(self) -> bool:
+        """True when at least one copy lives off-node, so a single node
+        loss cannot destroy the only copy of that node's images."""
+        return (self.partner_replica or bool(self.parity_group)
+                or self.burst_buffer)
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def bb_only(cls) -> "StoragePolicy":
+        return cls(name="bb_only", burst_buffer=True)
+
+    @classmethod
+    def local_only(cls) -> "StoragePolicy":
+        return cls(name="local_only", node_local=True, burst_buffer=False)
+
+    @classmethod
+    def partner(cls) -> "StoragePolicy":
+        return cls(name="partner", node_local=True, partner_replica=True,
+                   burst_buffer=False)
+
+    @classmethod
+    def xor(cls, group: int = 4) -> "StoragePolicy":
+        return cls(name=f"xor{group}", node_local=True, parity_group=group,
+                   burst_buffer=False)
+
+    @classmethod
+    def ladder(cls) -> "StoragePolicy":
+        return cls(name="ladder", node_local=True, partner_replica=True,
+                   burst_buffer=True)
+
+
+#: named presets for the CLI / benchmarks
+POLICIES: Dict[str, StoragePolicy] = {
+    "bb_only": StoragePolicy.bb_only(),
+    "local_only": StoragePolicy.local_only(),
+    "partner": StoragePolicy.partner(),
+    "xor4": StoragePolicy.xor(4),
+    "ladder": StoragePolicy.ladder(),
+}
+
+
+def policy_by_name(name: str) -> StoragePolicy:
+    """Look up a preset policy; raises KeyError with the known names."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown storage policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None

@@ -37,6 +37,7 @@ STAGES = (
     "lower_half_costing",   # FS-register + per-call overhead charging
     "drain_accounting",     # per-pair byte/message bookkeeping
     "checkpoint",           # per-rank drain / snapshot / image write
+    "storage",              # tiered image placement / verify / rebuild
     "restart",              # lower-half rebuild and rebinding
     "mpi_library",          # the lower half itself
     "network",              # fabric injections and deliveries

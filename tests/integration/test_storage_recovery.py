@@ -1,0 +1,280 @@
+"""Degraded-mode recovery through the tiered checkpoint store.
+
+The acceptance bars of the storage subsystem:
+
+* with partner replication, a node loss that destroys a rank's primary
+  copies recovers from the replica at the *same* epoch with zero extra
+  work lost versus a plain crash with intact storage;
+* with redundancy disabled, the same primary-copy damage forces recovery
+  back to the previous durable epoch;
+* both paths are deterministic — the same seed reproduces bit-identical
+  virtual times and traces;
+* corruption is never silent: the restart path's reads are all
+  checksum-verified, and injected corruption produces a traced
+  ``verify_failed`` before any reconstruction or fallback.
+"""
+
+import re
+
+import pytest
+
+from repro.apps.micro import TokenRing
+from repro.errors import RecoveryError
+from repro.faults import FaultInjector, FaultSchedule
+from repro.hosts import TESTBOX_MN
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+from repro.storage import StoragePolicy
+from repro.util.trace import RingBufferSink
+
+NRANKS = 4
+
+
+def _workload():
+    factory = lambda r: TokenRing(r, laps=10, compute_s=2e-3)  # noqa: E731
+    expected = [TokenRing.expected(r, NRANKS, 10) for r in range(NRANKS)]
+    return factory, expected
+
+
+def _session(factory, policy, sink=None):
+    cfg = ManaConfig.fault_tolerant().but(storage=policy)
+    return ManaSession(NRANKS, factory, TESTBOX_MN, cfg, trace_sink=sink)
+
+
+@pytest.fixture(scope="module")
+def calibrated():
+    """Two-checkpoint plans plus the exact second-commit landmark under
+    the partner policy (faulted runs are event-identical up to the
+    fault, so the landmark is exact)."""
+    factory, expected = _workload()
+    ref = ManaSession(
+        NRANKS, factory, TESTBOX_MN, ManaConfig.feature_2pc()
+    ).run()
+    assert ref.results == expected
+    plans = [
+        CheckpointPlan(at=ref.elapsed * 0.3, action="resume"),
+        CheckpointPlan(at=ref.elapsed * 0.6, action="resume"),
+    ]
+    base = _session(factory, StoragePolicy.partner()).run(
+        checkpoints=list(plans)
+    )
+    assert base.results == expected
+    second_commit = base.checkpoints[1]["completed_at"]
+    fault_at = second_commit + 0.3 * (base.elapsed - second_commit)
+    return factory, expected, plans, fault_at
+
+
+def _faulted_run(factory, policy, plans, schedule, sink=None):
+    sess = _session(factory, policy, sink=sink)
+    FaultInjector(sess, schedule).arm()
+    return sess.run(checkpoints=list(plans))
+
+
+# ----------------------------------------------------------------------
+# same-epoch recovery from the partner replica
+# ----------------------------------------------------------------------
+def test_node_loss_with_partner_recovers_same_epoch_zero_extra_loss(calibrated):
+    factory, expected, plans, fault_at = calibrated
+    victim, partner = 1, StoragePolicy.partner()
+    # yardstick: plain crash, storage intact
+    intact = _faulted_run(
+        factory, partner, plans,
+        FaultSchedule(seed=1).kill_rank(victim, fault_at),
+    )
+    # node loss: the victim's local copies AND the replica it hosts die
+    degraded = _faulted_run(
+        factory, partner, plans,
+        FaultSchedule(seed=1).lose_node(TESTBOX_MN.node_of(victim), fault_at),
+    )
+    assert intact.results == expected
+    assert degraded.results == expected
+    ri, rd = intact.recoveries[0], degraded.recoveries[0]
+    assert ri["epoch"] == 2 and rd["epoch"] == 2
+    assert rd["epoch_fallbacks"] == 0
+    # the acceptance bar: zero extra work lost, exactly
+    assert rd["work_lost"] == ri["work_lost"]
+    # the victim's image came off the partner tier, everyone else local
+    assert rd["storage_sources"][victim] == "partner"
+    assert all(src == "local" for r, src in rd["storage_sources"].items()
+               if r != victim)
+
+
+def test_redundancy_disabled_falls_back_to_previous_epoch(calibrated):
+    factory, expected, plans, _ = calibrated
+    # calibrate for local_only (its commits land at different times)
+    local = StoragePolicy.local_only()
+    base = _session(factory, local).run(checkpoints=list(plans))
+    second_commit = base.checkpoints[1]["completed_at"]
+    fault_at = second_commit + 0.3 * (base.elapsed - second_commit)
+    victim = 1
+    out = _faulted_run(
+        factory, local, plans,
+        FaultSchedule(seed=1)
+        .kill_rank(victim, fault_at)
+        .lose_tier("local", at=fault_at, rank=victim, epoch=2),
+    )
+    assert out.results == expected
+    rec = out.recoveries[0]
+    assert rec["epoch"] == 1
+    assert rec["epoch_fallbacks"] == 1
+    # falling back an epoch re-loses the work between the two commits
+    assert rec["work_lost"] > 0
+
+
+def test_node_loss_without_redundancy_is_unrecoverable(calibrated):
+    factory, _expected, plans, _ = calibrated
+    local = StoragePolicy.local_only()
+    base = _session(factory, local).run(checkpoints=list(plans))
+    second_commit = base.checkpoints[1]["completed_at"]
+    fault_at = second_commit + 0.3 * (base.elapsed - second_commit)
+    sess = _session(factory, local)
+    FaultInjector(
+        sess, FaultSchedule(seed=1).lose_node(1, fault_at)
+    ).arm()
+    # a full node loss destroys every epoch's only copy for that rank
+    with pytest.raises(RecoveryError, match="storage tier"):
+        sess.run(checkpoints=list(plans))
+
+
+# ----------------------------------------------------------------------
+# determinism: same seed, bit-identical virtual times and traces
+# ----------------------------------------------------------------------
+def _trace_fingerprint(sink):
+    # msg_id and the "#N" labels inside reason strings come from
+    # process-global allocators, so their absolute values differ between
+    # sessions in one process; everything else must match bit for bit
+    def norm(v):
+        return re.sub(r"#\d+", "#N", v) if isinstance(v, str) else v
+
+    return [(e.t, e.stage, e.kind, e.rank,
+             tuple(sorted((k, norm(v)) for k, v in e.detail.items()
+                          if k != "msg_id")))
+            for e in sink.events]
+
+
+@pytest.mark.parametrize("policy_maker,damage", [
+    (StoragePolicy.partner, "node_loss"),
+    (StoragePolicy.local_only, "tier_lost"),
+])
+def test_degraded_recovery_is_deterministic(calibrated, policy_maker, damage):
+    factory, expected, plans, _ = calibrated
+    policy = policy_maker()
+    base = _session(factory, policy).run(checkpoints=list(plans))
+    second_commit = base.checkpoints[1]["completed_at"]
+    fault_at = second_commit + 0.3 * (base.elapsed - second_commit)
+
+    def once():
+        schedule = FaultSchedule(seed=1)
+        if damage == "node_loss":
+            schedule.lose_node(1, fault_at)
+        else:
+            schedule.kill_rank(1, fault_at)
+            schedule.lose_tier("local", at=fault_at, rank=1, epoch=2)
+        sink = RingBufferSink(capacity=1 << 17)
+        out = _faulted_run(factory, policy, plans, schedule, sink=sink)
+        return out, sink
+
+    out1, sink1 = once()
+    out2, sink2 = once()
+    assert out1.results == out2.results == expected
+    assert out1.elapsed == out2.elapsed            # bit-identical
+    assert out1.recoveries == out2.recoveries
+    assert out1.storage == out2.storage
+    assert _trace_fingerprint(sink1) == _trace_fingerprint(sink2)
+
+
+# ----------------------------------------------------------------------
+# corruption is never silent
+# ----------------------------------------------------------------------
+def test_corruption_is_caught_then_recovered_from_replica():
+    factory, expected = _workload()
+    policy = StoragePolicy.ladder()
+    ref = ManaSession(
+        NRANKS, factory, TESTBOX_MN, ManaConfig.feature_2pc()
+    ).run()
+    plans = [CheckpointPlan(at=ref.elapsed * 0.4, action="resume")]
+    base = _session(factory, policy).run(checkpoints=list(plans))
+    commit = base.checkpoints[0]["completed_at"]
+    fault_at = commit + 0.3 * (base.elapsed - commit)
+    victim = 2
+    sink = RingBufferSink(capacity=1 << 17)
+    out = _faulted_run(
+        factory, policy, plans,
+        FaultSchedule(seed=1)
+        .corrupt_blob(victim, at=fault_at, tier="local", epoch=1)
+        .kill_rank(victim, fault_at),
+        sink=sink,
+    )
+    assert out.results == expected
+    rec = out.recoveries[0]
+    assert rec["epoch"] == 1
+    # the bad primary was detected, then the ladder moved on
+    assert rec["storage_sources"][victim] == "partner"
+    assert out.storage["verify_failed"] == 1
+    assert out.storage["copies_corrupted"] == 1
+    verify = [e for e in sink.by_stage("storage") if e.kind == "verify_failed"]
+    assert len(verify) == 1
+    assert verify[0].rank == victim and verify[0].detail["tier"] == "local"
+    done = [e for e in sink.events
+            if e.stage == "recovery" and e.kind == "recovery_done"]
+    # detection strictly precedes the completed recovery in the trace
+    assert verify[0].seq < done[0].seq
+
+
+def test_corrupt_all_replicas_forces_epoch_fallback():
+    factory, expected = _workload()
+    policy = StoragePolicy.ladder()
+    ref = ManaSession(
+        NRANKS, factory, TESTBOX_MN, ManaConfig.feature_2pc()
+    ).run()
+    plans = [
+        CheckpointPlan(at=ref.elapsed * 0.3, action="resume"),
+        CheckpointPlan(at=ref.elapsed * 0.6, action="resume"),
+    ]
+    base = _session(factory, policy).run(checkpoints=list(plans))
+    second_commit = base.checkpoints[1]["completed_at"]
+    fault_at = second_commit + 0.3 * (base.elapsed - second_commit)
+    victim = 1
+    out = _faulted_run(
+        factory, policy, plans,
+        FaultSchedule(seed=1)
+        .corrupt_blob(victim, at=fault_at, tier="local", epoch=2)
+        .corrupt_blob(victim, at=fault_at, tier="partner", epoch=2)
+        .corrupt_blob(victim, at=fault_at, tier="bb", epoch=2)
+        .kill_rank(victim, fault_at),
+    )
+    assert out.results == expected
+    rec = out.recoveries[0]
+    # every epoch-2 copy of the victim was rotten; epoch 1 saved the job
+    assert rec["epoch"] == 1
+    assert rec["epoch_fallbacks"] == 1
+    assert out.storage["verify_failed"] == 3
+
+
+# ----------------------------------------------------------------------
+# torn manifest: the epoch exists but is undiscoverable
+# ----------------------------------------------------------------------
+def test_torn_manifest_forces_fallback_past_the_epoch():
+    factory, expected = _workload()
+    policy = StoragePolicy.partner()
+    ref = ManaSession(
+        NRANKS, factory, TESTBOX_MN, ManaConfig.feature_2pc()
+    ).run()
+    plans = [
+        CheckpointPlan(at=ref.elapsed * 0.3, action="resume"),
+        CheckpointPlan(at=ref.elapsed * 0.6, action="resume"),
+    ]
+    base = _session(factory, policy).run(checkpoints=list(plans))
+    second_commit = base.checkpoints[1]["completed_at"]
+    fault_at = second_commit + 0.3 * (base.elapsed - second_commit)
+    out = _faulted_run(
+        factory, policy, plans,
+        FaultSchedule(seed=1)
+        .tear_manifest(epoch=2)
+        .kill_rank(1, fault_at),
+    )
+    assert out.results == expected
+    rec = out.recoveries[0]
+    assert rec["epoch"] == 1
+    assert out.storage["manifests_torn"] == 1
+    assert 2 not in out.storage["epochs"]

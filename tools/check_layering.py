@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Layering lint: façades stay façades, mechanism stays below policy.
 
-Two rules, both enforced by walking module ASTs:
+Three rules, all enforced by walking module ASTs:
 
 1. ``src/repro/mana/wrappers.py`` routes every MPI entry point through
    the interposition pipeline (``repro/mana/pipeline/``).  Costing and
@@ -17,6 +17,16 @@ Two rules, both enforced by walking module ASTs:
    filters, ``ManaRuntime.bb_fault_hook``) and the injector installs
    callbacks downward — a reverse import would make fault-free runs
    depend on the fault subsystem.
+
+3. ``repro.storage`` is pure storage *mechanism*: tier placement, cost
+   models, manifests, integrity checks.  It may import ``repro.hosts``
+   (the hardware constants it prices against) and ``repro.util``, but
+   never ``repro.mana`` (the protocol layer decides *when* to write and
+   commit) or ``repro.faults`` (damage arrives through the store's
+   public fault surface: ``drop_tier`` / ``drop_node`` / ``corrupt_copy``
+   / ``arm_manifest_tear``).  A reverse import would let the storage
+   model grow protocol knowledge and make every store depend on the
+   fault subsystem.
 
 Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
 """
@@ -38,6 +48,10 @@ WRAPPER_FORBIDDEN = ("repro.mana.fsreg", "repro.mana.counters")
 #: mechanism layers that must never import the fault policy layer
 MECHANISM_DIRS = ("repro/des", "repro/simnet")
 POLICY_PKG = "repro.faults"
+
+#: the storage mechanism layer and the only repro packages it may touch
+STORAGE_DIR = "repro/storage"
+STORAGE_ALLOWED = ("repro.hosts", "repro.util", "repro.storage")
 
 
 def _imports(path: Path) -> List[Tuple[int, str, str]]:
@@ -99,20 +113,41 @@ def faults_violations() -> List[str]:
     return bad
 
 
+def storage_violations() -> List[str]:
+    """Rule 3: ``repro.storage`` stays below the protocol and fault
+    layers — any ``repro.*`` import outside the allow-list is a leak."""
+    bad = []
+    for path in sorted((SRC / STORAGE_DIR).rglob("*.py")):
+        rel = path.relative_to(REPO)
+        for lineno, mod, desc in _imports(path):
+            if not _hits(mod, "repro"):
+                continue
+            if any(_hits(mod, ok) for ok in STORAGE_ALLOWED):
+                continue
+            bad.append(
+                f"{rel}:{lineno}: storage mechanism layer imports above "
+                f"its station: {desc}"
+            )
+    return bad
+
+
 def main() -> int:
-    bad = wrapper_violations() + faults_violations()
+    bad = wrapper_violations() + faults_violations() + storage_violations()
     if bad:
         for line in bad:
             print(line, file=sys.stderr)
         print(
             "layering rules: wrappers.py reaches fsreg/counters only "
             "through pipeline stages; repro.des and repro.simnet never "
-            "import repro.faults (injection goes via registered hooks)",
+            "import repro.faults (injection goes via registered hooks); "
+            "repro.storage imports only repro.hosts/repro.util (never "
+            "repro.mana or repro.faults)",
             file=sys.stderr,
         )
         return 1
     print("layering OK: wrappers.py imports neither fsreg nor counters; "
-          "des/simnet do not import repro.faults")
+          "des/simnet do not import repro.faults; repro.storage stays "
+          "below repro.mana and repro.faults")
     return 0
 
 
