@@ -67,8 +67,18 @@ def render(data) -> str:
     return "\n".join(lines)
 
 
+def smoke(nranks: int = 512, rounds: int = 2, steps: int = 12) -> dict:
+    """Checkpoint+restart rounds at paper-regime rank count (CI target)."""
+    out = checkpoint_rounds(nranks, CORI_HASWELL,
+                            ManaConfig.feature_2pc(), rounds, steps)
+    assert len(out.checkpoints) == rounds  # every round survived
+    return {"nranks": nranks, "rounds": rounds,
+            "checkpoints": out.checkpoints, "restarts": out.restarts}
+
+
 def main(argv=None) -> int:
     import argparse
+    import time
 
     parser = argparse.ArgumentParser(
         description="Figure 3: checkpoint/restart overhead sweep"
@@ -81,7 +91,23 @@ def main(argv=None) -> int:
         "--out", default=None,
         help="output path for --json (default: ./BENCH_fig3.json)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="checkpoint+restart rounds at 512 ranks instead of the sweep",
+    )
+    parser.add_argument("--nranks", type=int, default=512,
+                        help="rank count for --smoke (default 512)")
     args = parser.parse_args(argv)
+    if args.smoke:
+        t0 = time.perf_counter()
+        point = smoke(args.nranks)
+        dt = time.perf_counter() - t0
+        ck = point["checkpoints"]
+        print(f"smoke OK: {point['nranks']} ranks, {point['rounds']} "
+              f"ckpt+restart rounds in {dt:.1f}s wall — checkpoint "
+              f"{ck[0]['checkpoint_time']:.4f}s, restart "
+              f"{ck[0].get('restart_time', 0.0):.4f}s virtual")
+        return 0
     data = sweep()
     print(render(data))
     if args.json:

@@ -1,15 +1,30 @@
 """Simulator-infrastructure benchmark: event throughput.
 
 Not a paper experiment — a regression guard for the reproduction's own
-substrate.  A profiling pass (see DESIGN.md's scale note) shows the
-event loop's cost is spread across resume/dispatch/inject with no
-single hotspot; this bench pins the achieved events-per-second for a
-representative MANA workload so substrate regressions are visible.
+substrate.  Two workloads are measured:
+
+* **core** — a scheduler-pure workload (generator processes yielding
+  ``Advance`` through both the same-instant FIFO lane and the timed
+  heap, no MPI/MANA layers).  This is the DES fast path itself; the
+  ``≥ 1M events/s`` target of the fast-path work applies here.
+* **full stack** — a representative MANA workload (the DFT proxy under
+  ``ManaConfig.master()``), where each event also pays for the fused
+  pipeline dispatch, costing, virtualization, fabric, and matching
+  layers above the core.
+
+Run ``python benchmarks/bench_simulator_throughput.py --json`` to
+measure both and commit the trajectory (``results/
+simulator_throughput.json`` + ``BENCH_throughput.json`` with a
+provenance stamp), or ``--smoke`` for the untimed CI pass.
 """
+
+import time
 
 from repro.apps.dft_proxy import DftConfig, DftProxy
 from repro.apps.workloads import workload
-from repro.bench import save_result
+from repro.bench import save_result, write_bench_json
+from repro.des.scheduler import Scheduler
+from repro.des.syscalls import Advance
 from repro.hosts import CORI_HASWELL
 from repro.mana import ManaConfig, ManaSession
 
@@ -23,6 +38,54 @@ def run_workload(nranks: int = 64, iterations: int = 2):
     return session.sched.events_run
 
 
+def run_core(nprocs: int = 16, events_per_proc: int = 40_000) -> int:
+    """Scheduler-pure workload: each process alternates a same-instant
+    ``Advance(0)`` (FIFO fast lane) with a timed ``Advance`` (heap), the
+    two event shapes the DES core dispatches."""
+    def body(n, dt):
+        zero = Advance(0.0)
+        step = Advance(dt)
+        for _ in range(n):
+            yield zero
+            yield step
+
+    sched = Scheduler()
+    for p in range(nprocs):
+        sched.spawn(body(events_per_proc, 1e-6 * (p + 1)), f"core-{p}")
+    sched.run()
+    return sched.events_run
+
+
+def _rate(fn, rounds: int = 3):
+    """Best-of-N events/s (best-of sidesteps scheduler-noise outliers)."""
+    best = 0.0
+    events = 0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        events = fn()
+        dt = time.perf_counter() - t0
+        best = max(best, events / dt)
+    return events, best
+
+
+def measure(rounds: int = 3) -> dict:
+    core_events, core_rate = _rate(run_core, rounds)
+    full_events, full_rate = _rate(run_workload, rounds)
+    return {
+        "core": {
+            "workload": "16 procs x 40k Advance pairs (FIFO lane + heap)",
+            "events": core_events,
+            "events_per_sec": round(core_rate),
+        },
+        "full_stack": {
+            "workload": "DftProxy CaPOH, 64 ranks, ManaConfig.master()",
+            "events": full_events,
+            "events_per_sec": round(full_rate),
+        },
+        "rounds": rounds,
+    }
+
+
 def test_event_throughput(benchmark):
     events = benchmark.pedantic(run_workload, rounds=3, iterations=1,
                                 warmup_rounds=1)
@@ -31,12 +94,19 @@ def test_event_throughput(benchmark):
     save_result(
         "simulator_throughput",
         f"simulator throughput: {events} events in {seconds:.2f}s wall "
-        f"= {rate / 1e3:.0f}k events/s",
+        f"= {rate / 1e3:.0f}k events/s (full MANA stack)",
         {"events": events, "mean_seconds": seconds, "events_per_sec": rate},
     )
-    # floor chosen far below current (~170k/s) to catch order-of-magnitude
-    # regressions without flaking on slow machines
+    # floor chosen far below current (~300k/s full stack) to catch
+    # order-of-magnitude regressions without flaking on slow machines
     assert rate > 20_000
+
+
+def test_core_throughput():
+    """The DES core fast path alone; soft-floored well under the ~2.5M
+    events/s it reaches on a quiet machine."""
+    _events, rate = _rate(run_core, rounds=3)
+    assert rate > 200_000
 
 
 def smoke(nranks: int = 8, iterations: int = 1) -> int:
@@ -49,19 +119,46 @@ def smoke(nranks: int = 8, iterations: int = 1) -> int:
 
 if __name__ == "__main__":
     import argparse
-    import time
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="run one small workload pass and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="measure core + full-stack rates and write "
+                             "results/simulator_throughput.json and "
+                             "BENCH_throughput.json (provenance-stamped)")
+    parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--nranks", type=int, default=8)
     parser.add_argument("--iterations", type=int, default=1)
+    parser.add_argument("--floor", type=int, default=0,
+                        help="soft events/s floor for --smoke: print a "
+                             "warning below it but still exit 0 (CI "
+                             "machines are noisy; hard floors live in "
+                             "the pytest benches)")
     args = parser.parse_args()
     if args.smoke:
         t0 = time.perf_counter()
         events = smoke(args.nranks, args.iterations)
         dt = time.perf_counter() - t0
+        rate = events / dt
         print(f"smoke OK: {events} events in {dt:.2f}s wall "
-              f"({events / dt / 1e3:.0f}k events/s)")
+              f"({rate / 1e3:.0f}k events/s)")
+        if args.floor and rate < args.floor:
+            # GitHub Actions annotation syntax; harmless elsewhere
+            print(f"::warning title=throughput smoke::{rate / 1e3:.0f}k "
+                  f"events/s is below the soft floor of "
+                  f"{args.floor / 1e3:.0f}k events/s")
+    elif args.json:
+        data = measure(rounds=args.rounds)
+        core = data["core"]["events_per_sec"]
+        full = data["full_stack"]["events_per_sec"]
+        text = (f"simulator throughput: core {core / 1e6:.2f}M events/s, "
+                f"full MANA stack {full / 1e3:.0f}k events/s "
+                f"(best of {data['rounds']})")
+        save_result("simulator_throughput", text, data)
+        path = write_bench_json("throughput", data, machine=CORI_HASWELL,
+                                cfg=ManaConfig.master())
+        print(f"wrote {path}")
     else:
-        parser.error("use --smoke, or run via pytest for the timed bench")
+        parser.error("use --smoke or --json, or run via pytest for the "
+                     "timed bench")

@@ -1,8 +1,8 @@
 """The interposition pipeline: registry dispatch over the five stages.
 
 One :class:`Pipeline` exists per rank.  A wrapper entry point is one
-``yield from pipe.call(name, ...)``: the registry row says whether the
-call is counted and whether it owes the gate a safe point, and names the
+``pipe.call(name, ...)``: the registry row says whether the call is
+counted and whether it owes the gate a safe point, and names the
 :class:`~repro.mana.pipeline.lowering.SemanticLowering` handler that
 lowers it.  Family calls (collectives, icolls, communicator management)
 additionally carry their descriptor into the shared skeleton.
@@ -17,9 +17,19 @@ Stage order for a non-collective call::
 
 Blocking collectives run the gate *inside* the skeleton (the horizon
 gate needs the translated communicator's gid first).
+
+Dispatch is precompiled: ``__init__`` builds one fused closure per
+registry row, resolving the registry lookup, the ``count``/``checkin``
+branches, and the ``getattr`` handler resolution once at wire-up.  The
+hot path is then a dict hit plus a direct generator call.  The gate
+safe point is additionally guarded inline by the exact no-op condition
+of ``maybe_checkin`` (no intent, or already inside the checkpoint), so
+a fault-free call skips the gate generator entirely.
 """
 
 from __future__ import annotations
+
+from repro.mana.runtime import RankPhase
 
 from .accounting import DrainAccounting
 from .costing import LowerHalfCosting
@@ -30,7 +40,7 @@ from .virtualization import Virtualization
 
 
 class Pipeline:
-    """Per-rank stage stack + declarative dispatch."""
+    """Per-rank stage stack + precompiled declarative dispatch."""
 
     def __init__(self, api):
         mrank = api.mrank
@@ -42,25 +52,84 @@ class Pipeline:
         self.lower = SemanticLowering(api, self.gate, self.virt,
                                       self.cost, self.acct)
         self._tracer = mrank.rt.sched.tracer
+        #: one fused stage chain per registry row, compiled at wire-up
+        self._fused = {
+            name: self._compile(spec) for name, spec in CALL_SPECS.items()
+        }
 
     def call(self, name: str, *args, **kwargs):
-        """Lower one MPI entry point through the stages (a generator)."""
-        spec = CALL_SPECS[name]
+        """Lower one MPI entry point through the stages (returns the
+        fused generator — callers ``yield from`` it)."""
+        return self._fused[name](*args, **kwargs)
+
+    def _compile(self, spec):
+        """Fuse one registry row into a single generator function.
+
+        Everything ``call`` used to branch on per invocation — the
+        registry hit, the count/checkin flags, the handler ``getattr``,
+        the descriptor presence — is resolved here, once.  The tracer
+        object is hoisted too; only its ``enabled`` bit is read per
+        call, so disabled tracing costs one attribute test.
+        """
         api = self.api
-        if spec.count:
-            api._count(name)
+        mrank = api.mrank
+        rank = mrank.rank
         tr = self._tracer
-        if tr.enabled:
-            tr.emit("semantic_lowering", "enter", call=name,
-                    rank=api.mrank.rank)
-        if spec.checkin:
-            yield from self.gate.entry(name)
+        name = spec.name
+        desc = spec.desc
+        count = api._count
         handler = getattr(self.lower, spec.handler)
-        if spec.desc is not None:
-            result = yield from handler(spec.desc, *args, **kwargs)
+        gate_entry = self.gate.entry
+        IN_CKPT = RankPhase.IN_CKPT
+
+        if spec.checkin:
+            # pt2pt / completion calls: count, safe point, handler
+            def fused(*args, **kwargs):
+                count(name)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "enter", call=name,
+                            rank=rank)
+                if mrank.intent and mrank.phase is not IN_CKPT:
+                    yield from gate_entry(name)
+                result = yield from handler(*args, **kwargs)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "exit", call=name,
+                            rank=rank)
+                return result
+        elif desc is not None and spec.count:
+            # blocking collectives / comm mgmt: the gate runs inside the
+            # skeleton, after communicator translation
+            def fused(*args, **kwargs):
+                count(name)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "enter", call=name,
+                            rank=rank)
+                result = yield from handler(desc, *args, **kwargs)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "exit", call=name,
+                            rank=rank)
+                return result
+        elif desc is not None:
+            # icolls: counted downstream, after the virtualization check
+            def fused(*args, **kwargs):
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "enter", call=name,
+                            rank=rank)
+                result = yield from handler(desc, *args, **kwargs)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "exit", call=name,
+                            rank=rank)
+                return result
         else:
-            result = yield from handler(*args, **kwargs)
-        if tr.enabled:
-            tr.emit("semantic_lowering", "exit", call=name,
-                    rank=api.mrank.rank)
-        return result
+            # wait family, probe, comm_free, memory
+            def fused(*args, **kwargs):
+                count(name)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "enter", call=name,
+                            rank=rank)
+                result = yield from handler(*args, **kwargs)
+                if tr.enabled:
+                    tr.emit("semantic_lowering", "exit", call=name,
+                            rank=rank)
+                return result
+        return fused

@@ -11,6 +11,7 @@ event count manageable at scale.
 
 from __future__ import annotations
 
+from repro.des.syscalls import Advance
 from repro.mana.fsreg import lower_half_call_cost
 from repro.mana.runtime import ManaRank
 
@@ -23,6 +24,13 @@ class LowerHalfCosting:
         self.cfg = mrank.rt.cfg
         self.machine = mrank.rt.machine
         self._tracer = mrank.rt.sched.tracer
+        #: (lower_calls, vreq_ops, pt2pt) -> (base cost, effective lower
+        #: calls); the cost model is pure in (cfg, machine), both fixed
+        #: for the life of the stage, so each flag combination is
+        #: computed once (same float-op order as the open-coded form)
+        self._memo: dict = {}
+        #: cost -> shared immutable Advance (see :meth:`wrapper_advance`)
+        self._adv_memo: dict = {}
 
     def wrapper_cost(
         self,
@@ -35,20 +43,27 @@ class LowerHalfCosting:
 
         Accumulates into the rank's overhead telemetry as a side effect
         and returns the virtual seconds the caller must ``Advance``."""
-        ov = self.cfg.overheads
-        nominal = ov.ckpt_lock + ov.commit_phase
-        if self.cfg.lambda_frames:
-            nominal += ov.lambda_frames
-        nominal += ov.vreq_bookkeeping * vreq_ops
-        if pt2pt:
-            nominal += ov.counter_update
-            # local-to-global rank translation helper (Section III-I.3)
-            lower_calls += (
-                ov.rank_helper_lh_calls if self.cfg.multi_call_rank_helper else 1
-            )
-        cost = self.machine.mana_sw_time(nominal)
-        cost += lower_half_call_cost(self.cfg, self.machine, lower_calls)
-        cost += lookup_cost
+        key = (lower_calls, vreq_ops, pt2pt)
+        hit = self._memo.get(key)
+        if hit is None:
+            ov = self.cfg.overheads
+            nominal = ov.ckpt_lock + ov.commit_phase
+            if self.cfg.lambda_frames:
+                nominal += ov.lambda_frames
+            nominal += ov.vreq_bookkeeping * vreq_ops
+            if pt2pt:
+                nominal += ov.counter_update
+                # local-to-global rank translation helper (Section III-I.3)
+                lower_calls += (
+                    ov.rank_helper_lh_calls if self.cfg.multi_call_rank_helper
+                    else 1
+                )
+            base = self.machine.mana_sw_time(nominal)
+            base += lower_half_call_cost(self.cfg, self.machine, lower_calls)
+            hit = (base, lower_calls)
+            self._memo[key] = hit
+        base, lower_calls = hit
+        cost = base + lookup_cost
         st = self.mrank.stats
         st.overhead_time += cost
         st.lower_half_calls += lower_calls
@@ -58,3 +73,20 @@ class LowerHalfCosting:
                 cost=cost, lower_calls=lower_calls, vreq_ops=vreq_ops,
             )
         return cost
+
+    def wrapper_advance(
+        self,
+        lower_calls: int = 1,
+        lookup_cost: float = 0.0,
+        vreq_ops: int = 0,
+        pt2pt: bool = False,
+    ) -> Advance:
+        """:meth:`wrapper_cost` packaged as a shared ``Advance``.
+
+        Advance syscalls are immutable, and memoized costs recur, so the
+        wrapper's charge can reuse one object per distinct cost value."""
+        cost = self.wrapper_cost(lower_calls, lookup_cost, vreq_ops, pt2pt)
+        adv = self._adv_memo.get(cost)
+        if adv is None:
+            adv = self._adv_memo[cost] = Advance(cost)
+        return adv

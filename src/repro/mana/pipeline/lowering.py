@@ -27,6 +27,7 @@ from repro.mana.config import CollectiveMode
 from repro.mana.handles import RequestSlot
 from repro.mana.icoll_log import IcollRecord
 from repro.mana.requests import NullMark, VReqEntry, VReqKind
+from repro.mana.runtime import RankPhase
 from repro.simmpi.constants import (
     ANY_SOURCE,
     ANY_TAG,
@@ -117,10 +118,10 @@ class SemanticLowering:
             validate_tag(tag)
         vid, real, lc = self.virt.lookup_comm(comm)
         if not self.cfg.virtualize_requests:
-            yield Advance(self.cost.wrapper_cost(1, lc, 0, pt2pt=True))
+            yield self.cost.wrapper_advance(1, lc, 0, pt2pt=True)
             req = self.api._lib.irecv(self.api._task, real, source, tag)
             return RequestSlot(req)
-        yield Advance(self.cost.wrapper_cost(1, lc, 1, pt2pt=True))
+        yield self.cost.wrapper_advance(1, lc, 1, pt2pt=True)
         # consult the drained-message buffer first: bytes drained at the
         # last checkpoint must be delivered before fresh lower-half ones
         src_world = (
@@ -161,7 +162,7 @@ class SemanticLowering:
             # lower-half request — which is why a restart with pending
             # requests cannot work without virtualization (Section III-A)
             req = slot.value
-            yield Advance(self.cost.wrapper_cost(1))
+            yield self.cost.wrapper_advance(1)
             flag, payload = self.api._lib.test(self.api._task, req)
             if flag:
                 st = req.status
@@ -172,7 +173,7 @@ class SemanticLowering:
             return False, None, None
 
         entry, lc = self.virt.lookup_request(slot.value)
-        yield Advance(self.cost.wrapper_cost(1, lookup_cost=lc))
+        yield self.cost.wrapper_advance(1, lookup_cost=lc)
         if entry.kind in (VReqKind.PSEND, VReqKind.PRECV):
             result = yield from self.test_persistent(entry)
             return result
@@ -316,7 +317,7 @@ class SemanticLowering:
         source = self.api._resolve(source)
         tag = self.api._resolve(tag)
         vid, real, lc = self.virt.lookup_comm(comm)
-        yield Advance(self.cost.wrapper_cost(1, lc))
+        yield self.cost.wrapper_advance(1, lc)
         # drained messages are as probe-able as unexpected-queue ones
         for m in self.mrank.drain_buffer.snapshot():
             if m.comm_vid != vid:
@@ -448,14 +449,14 @@ class SemanticLowering:
                 flag, payload, st = yield from self.test_once(slot)
                 if flag:
                     return True, i, payload, st
-        yield Advance(self.cost.wrapper_cost(1))
+        yield self.cost.wrapper_advance(1)
         return False, None, None, None
 
     def testall(self, slots: Sequence[RequestSlot]):
         """MPI_Testall: all-or-nothing consumption, as the standard
         requires — nothing is freed unless every request is complete."""
         if not all(self.peek_done(s) for s in slots):
-            yield Advance(self.cost.wrapper_cost(1))
+            yield self.cost.wrapper_advance(1)
             return False, None
         out = []
         for slot in slots:
@@ -478,7 +479,7 @@ class SemanticLowering:
         tag = self.api._resolve(tag)
         validate_tag(tag)
         vid, real_comm, lc = self.virt.lookup_comm(comm)
-        yield Advance(self.cost.wrapper_cost(1, lc, vreq_ops=1, pt2pt=True))
+        yield self.cost.wrapper_advance(1, lc, vreq_ops=1, pt2pt=True)
         preq = self.api._lib.send_init(self.api._task, real_comm, dest, tag,
                                        buf=data)
         entry, _c = self.virt.create_request(
@@ -494,7 +495,7 @@ class SemanticLowering:
         tag = self.api._resolve(tag)
         validate_tag(tag)
         vid, real_comm, lc = self.virt.lookup_comm(comm)
-        yield Advance(self.cost.wrapper_cost(1, lc, vreq_ops=1, pt2pt=True))
+        yield self.cost.wrapper_advance(1, lc, vreq_ops=1, pt2pt=True)
         preq = self.api._lib.recv_init(self.api._task, real_comm, source, tag)
         entry, _c = self.virt.create_request(
             VReqKind.PRECV, vid, real=preq, peer=source, tag=tag,
@@ -507,7 +508,7 @@ class SemanticLowering:
         entry, lc = self.virt.lookup_request(slot.value)
         if entry.kind not in (VReqKind.PSEND, VReqKind.PRECV):
             raise MpiError("MPI_Start on a non-persistent request")
-        yield Advance(self.cost.wrapper_cost(1, lc, pt2pt=True))
+        yield self.cost.wrapper_advance(1, lc, pt2pt=True)
         _vid, real_comm, _lc = self.virt.lookup_comm(entry.comm_vid)
         if entry.kind is VReqKind.PRECV:
             # a previously drained message for this (comm, source, tag)
@@ -541,7 +542,7 @@ class SemanticLowering:
         """MPI_Request_free: the only retirement point for persistent
         requests (Section III-A's GC question does not apply to them)."""
         entry, lc = self.virt.lookup_request(slot.value)
-        yield Advance(self.cost.wrapper_cost(1, lc, vreq_ops=1))
+        yield self.cost.wrapper_advance(1, lc, vreq_ops=1)
         if isinstance(entry.real, RealPersistentRequest):
             self.api._lib.request_free(self.api._task, entry.real)
         self.virt.retire_request(entry)
@@ -581,21 +582,25 @@ class SemanticLowering:
             p = len(meta.world_ranks)
             seq = meta.mana_coll_seq
             meta.mana_coll_seq += 1
-            yield Advance(self.cost.wrapper_cost(0, lc))
+            yield self.cost.wrapper_advance(0, lc)
             result = yield from desc.alt(self.api, vid, me, p, seq, args)
             return result
 
         gid = meta.gid
-        yield from self.gate.collective(gid, opname)
+        mrank = self.mrank
+        # inline no-op guard: the prologue loop condition, hoisted so a
+        # fault-free call never enters the gate generator
+        if mrank.intent and mrank.phase is not RankPhase.IN_CKPT:
+            yield from self.gate.collective(gid, opname)
         # re-translate AFTER the prologue: a checkpoint/restart may have
         # parked us there and replaced the lower half, rebinding the
         # virtual communicator to a brand-new real one
         _vid, real, lc = self.virt.lookup_comm(comm)
-        yield Advance(self.cost.wrapper_cost(1, lc))
-        inst = self.mrank.blocking_counts.get(gid, 0)
-        self.mrank.in_lower = (gid, inst)
-        if self.mrank.intent:
-            self.mrank.report_state("in_lower", gid=gid, instance=inst)
+        yield self.cost.wrapper_advance(1, lc)
+        inst = mrank.blocking_counts.get(gid, 0)
+        mrank.in_lower = (gid, inst)
+        if mrank.intent:
+            mrank.report_state("in_lower", gid=gid, instance=inst)
         try:
             if mode is CollectiveMode.BARRIER_ALWAYS:
                 # the original MANA's two-phase commit: a real barrier in
@@ -603,10 +608,10 @@ class SemanticLowering:
                 yield from self.api._lib.barrier(self.api._task, real)
             result = yield from desc.lib(self.api._lib, self.api._task, real, args)
         finally:
-            self.mrank.in_lower = None
-        self.mrank.blocking_counts[gid] = inst + 1
-        if self.mrank.intent:
-            self.mrank.report_state("running")
+            mrank.in_lower = None
+        mrank.blocking_counts[gid] = inst + 1
+        if mrank.intent:
+            mrank.report_state("running")
         return result
 
     # ------------------------------------------------------------------
@@ -620,9 +625,10 @@ class SemanticLowering:
                 "cannot support non-blocking collectives (Section III-A)"
             )
         self.api._count(opname)
-        yield from self.gate.entry(opname)
+        if self.mrank.intent and self.mrank.phase is not RankPhase.IN_CKPT:
+            yield from self.gate.entry(opname)
         vid, real, lc = self.virt.lookup_comm(comm)
-        yield Advance(self.cost.wrapper_cost(1, lc, vreq_ops=1))
+        yield self.cost.wrapper_advance(1, lc, vreq_ops=1)
         rec = IcollRecord(op=opname, comm_vid=vid, **desc.record(args))
         # snapshot the payload: replay after restart must resend the
         # value as of issue time even if the app reused its buffer
@@ -646,9 +652,10 @@ class SemanticLowering:
         gid = meta.gid
         if desc.prepare is not None:
             desc.prepare(self.api, real, args)
-        yield from self.gate.collective(gid, desc.name)
+        if self.mrank.intent and self.mrank.phase is not RankPhase.IN_CKPT:
+            yield from self.gate.collective(gid, desc.name)
         _vid, real, lc = self.virt.lookup_comm(comm)  # may be rebound by restart
-        yield Advance(self.cost.wrapper_cost(1, lc))
+        yield self.cost.wrapper_advance(1, lc)
         inst = self.mrank.blocking_counts.get(gid, 0)
         self.mrank.in_lower = (gid, inst)
         if self.mrank.intent:
@@ -680,7 +687,7 @@ class SemanticLowering:
         # barrier would hang waiting for members that already freed.
         yield from self.gate.collective(gid, "comm_free")
         _vid, real, lc = self.virt.lookup_comm(comm)  # rebound by a restart
-        yield Advance(self.cost.wrapper_cost(1, lc))
+        yield self.cost.wrapper_advance(1, lc)
         self.api._lib.comm_free(self.api._task, real)
         self.virt.free_comm(vid)
         self.mrank.blocking_counts[gid] = (
@@ -702,12 +709,12 @@ class SemanticLowering:
     # ------------------------------------------------------------------
     def alloc_mem(self, nbytes: int):
         from repro.mana.wrappers import UpperHalfMemory
-        yield Advance(self.cost.wrapper_cost(0))
+        yield self.cost.wrapper_advance(0)
         mem = UpperHalfMemory(nbytes)
         self.api._uh_mem[mem.mem_id] = mem
         return mem
 
     def free_mem(self, mem):
-        yield Advance(self.cost.wrapper_cost(0))
+        yield self.cost.wrapper_advance(0)
         if self.api._uh_mem.pop(mem.mem_id, None) is None:
             raise MpiError(f"free_mem of unknown {mem!r}")

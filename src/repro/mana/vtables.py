@@ -44,16 +44,29 @@ class VirtualTable(Generic[V]):
         self.inserts = 0
         self.deletes = 0
         self.peak_size = 0
+        # the cost model is pure in (backend, table size): HASH is one
+        # constant; MAP is memoized per table size (same float-op order)
+        if cfg.vtable is VtableBackend.HASH:
+            self._hash_cost: Optional[float] = machine.mana_sw_time(
+                cfg.overheads.hash_lookup
+            )
+        else:
+            self._hash_cost = None
+        self._map_cost_memo: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def _op_cost(self) -> float:
-        ov = self._cfg.overheads
-        if self._cfg.vtable is VtableBackend.HASH:
-            nominal = ov.hash_lookup
-        else:
-            levels = max(1.0, math.log2(max(2, len(self._table))))
-            nominal = ov.map_lookup_per_level * levels
-        return self._machine.mana_sw_time(nominal)
+        c = self._hash_cost
+        if c is not None:
+            return c
+        n = len(self._table)
+        c = self._map_cost_memo.get(n)
+        if c is None:
+            levels = max(1.0, math.log2(max(2, n)))
+            nominal = self._cfg.overheads.map_lookup_per_level * levels
+            c = self._machine.mana_sw_time(nominal)
+            self._map_cost_memo[n] = c
+        return c
 
     # ------------------------------------------------------------------
     def create(self, real: V) -> Tuple[int, float]:

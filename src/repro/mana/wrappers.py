@@ -21,6 +21,13 @@ call, lowered through five composable stages —
   polling loops, ``MPI_Alloc_mem`` becomes an upper-half allocation)
   and the non-blocking-collective log (Section III-I item 4).
 
+The wrapper methods are deliberately *plain functions* that return the
+pipeline's fused generator (callers ``yield from`` the result exactly as
+before): keeping them non-generators removes one frame from every
+call's resume chain, which the event loop pays on every Advance/Park.
+Argument evaluation order is unchanged — generator functions bind their
+arguments at creation time too.
+
 This module deliberately imports neither ``fsreg`` nor ``counters``:
 costing and drain accounting are reachable only through their stages
 (``tools/check_layering.py`` enforces this).
@@ -124,220 +131,165 @@ class ManaApi:
     # point-to-point
     # ------------------------------------------------------------------
     def isend(self, data, dest, tag: int = 0, comm: Optional[int] = None):
-        slot = yield from self._pipe.call("isend", data, dest, tag, comm)
-        return slot
+        return self._pipe.call("isend", data, dest, tag, comm)
 
     def send(self, data, dest, tag: int = 0, comm: Optional[int] = None):
-        yield from self._pipe.call("send", data, dest, tag, comm)
-        return None
+        return self._pipe.call("send", data, dest, tag, comm)
 
     def irecv(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        slot = yield from self._pipe.call("irecv", source, tag, comm)
-        return slot
+        return self._pipe.call("irecv", source, tag, comm)
 
     def recv(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        payload, status = yield from self._pipe.call("recv", source, tag, comm)
-        return payload, status
+        return self._pipe.call("recv", source, tag, comm)
 
     def sendrecv(self, senddata, dest, sendtag: int = 0, source=ANY_SOURCE,
                  recvtag=ANY_TAG, comm: Optional[int] = None):
-        data, status = yield from self._pipe.call(
+        return self._pipe.call(
             "sendrecv", senddata, dest, sendtag, source, recvtag, comm
         )
-        return data, status
 
     def iprobe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        flag, st = yield from self._pipe.call("iprobe", source, tag, comm)
-        return flag, st
+        return self._pipe.call("iprobe", source, tag, comm)
 
     def probe(self, source=ANY_SOURCE, tag=ANY_TAG, comm: Optional[int] = None):
-        status = yield from self._pipe.call("probe", source, tag, comm)
-        return status
+        return self._pipe.call("probe", source, tag, comm)
 
     # ------------------------------------------------------------------
     # completion
     # ------------------------------------------------------------------
     def test(self, slot: RequestSlot):
-        result = yield from self._pipe.call("test", slot)
-        return result
+        return self._pipe.call("test", slot)
 
     def wait(self, slot: RequestSlot):
-        result = yield from self._pipe.call("wait", slot)
-        return result
+        return self._pipe.call("wait", slot)
 
     def waitall(self, slots: Sequence[RequestSlot]):
-        result = yield from self._pipe.call("waitall", slots)
-        return result
+        return self._pipe.call("waitall", slots)
 
     def waitany(self, slots: Sequence[RequestSlot]):
-        result = yield from self._pipe.call("waitany", slots)
-        return result
+        return self._pipe.call("waitany", slots)
 
     def testany(self, slots: Sequence[RequestSlot]):
-        result = yield from self._pipe.call("testany", slots)
-        return result
+        return self._pipe.call("testany", slots)
 
     def testall(self, slots: Sequence[RequestSlot]):
-        result = yield from self._pipe.call("testall", slots)
-        return result
+        return self._pipe.call("testall", slots)
 
     # ------------------------------------------------------------------
     # persistent point-to-point (MPI_Send_init / MPI_Recv_init / Start)
     # ------------------------------------------------------------------
     def send_init(self, data, dest, tag: int = 0, comm: Optional[int] = None):
-        slot = yield from self._pipe.call("send_init", data, dest, tag, comm)
-        return slot
+        return self._pipe.call("send_init", data, dest, tag, comm)
 
     def recv_init(self, source=ANY_SOURCE, tag=ANY_TAG,
                   comm: Optional[int] = None):
-        slot = yield from self._pipe.call("recv_init", source, tag, comm)
-        return slot
+        return self._pipe.call("recv_init", source, tag, comm)
 
     def start(self, slot: RequestSlot, data=None):
-        yield from self._pipe.call("start", slot, data)
-        return None
+        return self._pipe.call("start", slot, data)
 
     def request_free(self, slot: RequestSlot):
-        yield from self._pipe.call("request_free", slot)
+        return self._pipe.call("request_free", slot)
 
     # ------------------------------------------------------------------
     # internal pt2pt for the alternative collective implementation
     # (reserved tag space, full MANA accounting, check-ins allowed)
     # ------------------------------------------------------------------
     def _internal_isend(self, comm_vid: int, dest: int, tag: int, data):
-        yield from self._pipe.lower.internal_isend(comm_vid, dest, tag, data)
+        return self._pipe.lower.internal_isend(comm_vid, dest, tag, data)
 
     def _internal_recv(self, comm_vid: int, source: int, tag: int):
-        payload, st = yield from self._pipe.lower.internal_recv(
-            comm_vid, source, tag
-        )
-        return payload, st
+        return self._pipe.lower.internal_recv(comm_vid, source, tag)
 
     # ------------------------------------------------------------------
     # blocking collectives
     # ------------------------------------------------------------------
     def barrier(self, comm: Optional[int] = None):
-        result = yield from self._pipe.call("barrier", comm, {})
-        return result
+        return self._pipe.call("barrier", comm, {})
 
     def bcast(self, data, root: int = 0, comm: Optional[int] = None):
         data = self._resolve(data)
-        result = yield from self._pipe.call(
-            "bcast", comm, {"data": data, "root": root}
-        )
-        return result
+        return self._pipe.call("bcast", comm, {"data": data, "root": root})
 
     def reduce(self, data, op: ReductionOp = SUM, root: int = 0,
                comm: Optional[int] = None):
-        result = yield from self._pipe.call(
+        return self._pipe.call(
             "reduce", comm, {"data": data, "op": op, "root": root}
         )
-        return result
 
     def allreduce(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
-        result = yield from self._pipe.call(
-            "allreduce", comm, {"data": data, "op": op}
-        )
-        return result
+        return self._pipe.call("allreduce", comm, {"data": data, "op": op})
 
     def gather(self, data, root: int = 0, comm: Optional[int] = None):
-        result = yield from self._pipe.call(
-            "gather", comm, {"data": data, "root": root}
-        )
-        return result
+        return self._pipe.call("gather", comm, {"data": data, "root": root})
 
     def scatter(self, data, root: int = 0, comm: Optional[int] = None):
-        result = yield from self._pipe.call(
-            "scatter", comm, {"data": data, "root": root}
-        )
-        return result
+        return self._pipe.call("scatter", comm, {"data": data, "root": root})
 
     def allgather(self, data, comm: Optional[int] = None):
-        result = yield from self._pipe.call("allgather", comm, {"data": data})
-        return result
+        return self._pipe.call("allgather", comm, {"data": data})
 
     def alltoall(self, data: List[Any], comm: Optional[int] = None):
-        result = yield from self._pipe.call("alltoall", comm, {"data": data})
-        return result
+        return self._pipe.call("alltoall", comm, {"data": data})
 
     def scan(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
-        result = yield from self._pipe.call(
-            "scan", comm, {"data": data, "op": op}
-        )
-        return result
+        return self._pipe.call("scan", comm, {"data": data, "op": op})
 
     def reduce_scatter_block(self, data: List[Any], op: ReductionOp = SUM,
                              comm: Optional[int] = None):
-        result = yield from self._pipe.call(
+        return self._pipe.call(
             "reduce_scatter_block", comm, {"data": data, "op": op}
         )
-        return result
 
     # ------------------------------------------------------------------
     # non-blocking collectives: log-and-replay (Section III-I item 4)
     # ------------------------------------------------------------------
     def ibarrier(self, comm: Optional[int] = None):
-        slot = yield from self._pipe.call("ibarrier", comm, {})
-        return slot
+        return self._pipe.call("ibarrier", comm, {})
 
     def ibcast(self, data, root: int = 0, comm: Optional[int] = None):
-        slot = yield from self._pipe.call(
-            "ibcast", comm, {"data": data, "root": root}
-        )
-        return slot
+        return self._pipe.call("ibcast", comm, {"data": data, "root": root})
 
     def ireduce(self, data, op: ReductionOp = SUM, root: int = 0,
                 comm: Optional[int] = None):
-        slot = yield from self._pipe.call(
+        return self._pipe.call(
             "ireduce", comm, {"data": data, "op": op, "root": root}
         )
-        return slot
 
     def iallreduce(self, data, op: ReductionOp = SUM, comm: Optional[int] = None):
-        slot = yield from self._pipe.call(
-            "iallreduce", comm, {"data": data, "op": op}
-        )
-        return slot
+        return self._pipe.call("iallreduce", comm, {"data": data, "op": op})
 
     def ialltoall(self, data: List[Any], comm: Optional[int] = None):
-        slot = yield from self._pipe.call("ialltoall", comm, {"data": data})
-        return slot
+        return self._pipe.call("ialltoall", comm, {"data": data})
 
     def iallgather(self, data, comm: Optional[int] = None):
-        slot = yield from self._pipe.call("iallgather", comm, {"data": data})
-        return slot
+        return self._pipe.call("iallgather", comm, {"data": data})
 
     # ------------------------------------------------------------------
     # communicator management (collective on the parent)
     # ------------------------------------------------------------------
     def comm_split(self, color, key: int = 0, comm: Optional[int] = None):
-        result = yield from self._pipe.call(
+        return self._pipe.call(
             "comm_split", comm, {"color": color, "key": key}
         )
-        return result
 
     def comm_dup(self, comm: Optional[int] = None):
-        result = yield from self._pipe.call("comm_dup", comm, {})
-        return result
+        return self._pipe.call("comm_dup", comm, {})
 
     def comm_create(self, ranks: Sequence[int], comm: Optional[int] = None):
-        result = yield from self._pipe.call(
-            "comm_create", comm, {"ranks": ranks}
-        )
-        return result
+        return self._pipe.call("comm_create", comm, {"ranks": ranks})
 
     def comm_free(self, comm: int):
-        yield from self._pipe.call("comm_free", comm)
+        return self._pipe.call("comm_free", comm)
 
     # ------------------------------------------------------------------
     # memory: MPI_Alloc_mem -> upper-half malloc (Section III item 1)
     # ------------------------------------------------------------------
     def alloc_mem(self, nbytes: int):
-        mem = yield from self._pipe.call("alloc_mem", nbytes)
-        return mem
+        return self._pipe.call("alloc_mem", nbytes)
 
     def free_mem(self, mem: UpperHalfMemory):
-        yield from self._pipe.call("free_mem", mem)
+        return self._pipe.call("free_mem", mem)
 
     # ------------------------------------------------------------------
     def win_create(self, *a, **kw):
@@ -383,3 +335,6 @@ class ManaApi:
             # channel is FIFO, so by now the intent flag is visible
         self.mrank.finalized = True
         self.mrank.phase = RankPhase.DONE
+    # NOTE: _finalize and compute stay generator functions (they yield
+    # directly); everything routed through the pipeline returns the
+    # fused generator instead.

@@ -34,11 +34,17 @@ def _tag(seq: int, round_: int = 0) -> int:
     return seq * TAG_STRIDE + round_
 
 
+_log2_memo: dict = {}
+
+
 def _ceil_log2(p: int) -> int:
-    n, r = 1, 0
-    while n < p:
-        n <<= 1
-        r += 1
+    r = _log2_memo.get(p)
+    if r is None:
+        n, r = 1, 0
+        while n < p:
+            n <<= 1
+            r += 1
+        _log2_memo[p] = r
     return r
 
 
@@ -65,12 +71,21 @@ def _recv(lib, task, comm: RealComm, src_local: int, tag: int):
 # ----------------------------------------------------------------------
 
 def barrier(lib, task, comm: RealComm, me: int, seq: int):
+    # hot path: ``_send``/``_recv`` inlined (dissemination barriers
+    # dominate collective traffic); rounds fit the tag stride by
+    # construction (log2 p << TAG_STRIDE)
     p = comm.size
+    ctx = comm.coll_ctx
+    wr = comm.group.world_ranks
+    base = seq * TAG_STRIDE
+    isend = lib._isend_raw
+    irecv = lib._irecv_raw
+    wait = lib._wait
     for k in range(_ceil_log2(p)):
-        dst = (me + (1 << k)) % p
-        src = (me - (1 << k)) % p
-        yield from _send(lib, task, comm, dst, _tag(seq, k), None)
-        yield from _recv(lib, task, comm, src, _tag(seq, k))
+        d = 1 << k
+        tag = base + k
+        yield from isend(task, ctx, wr[(me + d) % p], tag, None)
+        yield from wait(task, irecv(task, ctx, wr[(me - d) % p], tag))
     return None
 
 
@@ -79,20 +94,25 @@ def barrier(lib, task, comm: RealComm, me: int, seq: int):
 # ----------------------------------------------------------------------
 
 def bcast(lib, task, comm: RealComm, me: int, data: Any, root: int, seq: int):
+    # hot path: helpers inlined; a binomial bcast uses a single tag
     p = comm.size
     vr = (me - root) % p
+    ctx = comm.coll_ctx
+    wr = comm.group.world_ranks
+    tag = seq * TAG_STRIDE
     mask = 1
     while mask < p:
         if vr & mask:
             parent = (vr - mask + root) % p
-            data = yield from _recv(lib, task, comm, parent, _tag(seq))
+            req = lib._irecv_raw(task, ctx, wr[parent], tag)
+            data = yield from lib._wait(task, req)
             break
         mask <<= 1
     mask >>= 1
     while mask > 0:
         if vr + mask < p:
             child = (vr + mask + root) % p
-            yield from _send(lib, task, comm, child, _tag(seq), data)
+            yield from lib._isend_raw(task, ctx, wr[child], tag, data)
         mask >>= 1
     return data
 
@@ -152,30 +172,38 @@ def allreduce(
         )
         return result
 
+    # hot path: helpers inlined (recursive doubling; rounds << stride)
     r = 1
     while r * 2 <= p:
         r *= 2
     extra = p - r
     acc = data
+    ctx = comm.coll_ctx
+    wr = comm.group.world_ranks
+    base = seq * TAG_STRIDE
+    isend = lib._isend_raw
+    irecv = lib._irecv_raw
+    wait = lib._wait
     if me >= r:
-        yield from _send(lib, task, comm, me - r, _tag(seq, 0), acc)
+        yield from isend(task, ctx, wr[me - r], base, acc)
     else:
         if me < extra:
-            other = yield from _recv(lib, task, comm, me + r, _tag(seq, 0))
+            other = yield from wait(task, irecv(task, ctx, wr[me + r], base))
             acc = op(acc, other)
         mask = 1
         rnd = 1
         while mask < r:
-            partner = me ^ mask
-            yield from _send(lib, task, comm, partner, _tag(seq, rnd), acc)
-            other = yield from _recv(lib, task, comm, partner, _tag(seq, rnd))
+            partner = wr[me ^ mask]
+            tag = base + rnd
+            yield from isend(task, ctx, partner, tag, acc)
+            other = yield from wait(task, irecv(task, ctx, partner, tag))
             acc = op(acc, other)
             mask <<= 1
             rnd += 1
         if me < extra:
-            yield from _send(lib, task, comm, me + r, _tag(seq, 1), acc)
+            yield from isend(task, ctx, wr[me + r], base + 1, acc)
     if me >= r:
-        acc = yield from _recv(lib, task, comm, me - r, _tag(seq, 1))
+        acc = yield from wait(task, irecv(task, ctx, wr[me - r], base + 1))
     return acc
 
 
@@ -266,15 +294,25 @@ def scatter(
 # ----------------------------------------------------------------------
 
 def allgather(lib, task, comm: RealComm, me: int, data: Any, seq: int):
+    # hot path: helpers inlined (ring; one round per peer)
     p = comm.size
     blocks: List[Any] = [None] * p
     blocks[me] = data
-    right = (me + 1) % p
-    left = (me - 1) % p
+    ctx = comm.coll_ctx
+    wr = comm.group.world_ranks
+    right = wr[(me + 1) % p]
+    left = wr[(me - 1) % p]
+    base = seq * TAG_STRIDE
+    isend = lib._isend_raw
+    irecv = lib._irecv_raw
+    wait = lib._wait
     cur = data
     for step in range(p - 1):
-        yield from _send(lib, task, comm, right, _tag(seq, step), cur)
-        cur = yield from _recv(lib, task, comm, left, _tag(seq, step))
+        if step >= TAG_STRIDE:
+            raise MpiError(f"collective round {step} exceeds tag stride")
+        tag = base + step
+        yield from isend(task, ctx, right, tag, cur)
+        cur = yield from wait(task, irecv(task, ctx, left, tag))
         blocks[(me - step - 1) % p] = cur
     return blocks
 

@@ -43,9 +43,10 @@ class Group:
         return world_rank in self._index
 
     def world_rank(self, local_rank: int) -> int:
-        if not 0 <= local_rank < self.size:
-            raise MpiError(f"local rank {local_rank} out of range for {self!r}")
-        return self.world_ranks[local_rank]
+        wr = self.world_ranks
+        if 0 <= local_rank < len(wr):
+            return wr[local_rank]
+        raise MpiError(f"local rank {local_rank} out of range for {self!r}")
 
     # ------------------------------------------------------------------
     def translate_ranks(

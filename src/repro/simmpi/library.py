@@ -40,6 +40,17 @@ from repro.simnet.message import Message
 from repro.simnet.network import Network
 from repro.util.serde import payload_nbytes
 
+# hot-path enum hoists (attribute loads on RequestKind are measurable at
+# millions of events per second)
+_SEND = RequestKind.SEND
+_RECV = RequestKind.RECV
+_COLL = RequestKind.COLL
+
+#: shared Park used when tracing is off: the detailed per-wait reason
+#: string (request repr + rank) is only worth building when it lands in
+#: a trace or a deadlock report with tracing armed
+_PARK_WAIT = Park("MPI_Wait")
+
 
 @dataclass
 class RankTask:
@@ -90,10 +101,16 @@ class MpiLibrary:
         self.nranks = network.nranks
         self.destroyed = False
 
+        # hot-path hoists: Advance syscalls are immutable, so the two
+        # fixed-overhead instances are shared across every send/recv
+        self._adv_send = Advance(machine.send_overhead)
+        self._adv_recv = Advance(machine.recv_overhead)
+        self._tracer = sched.tracer
+
         self.endpoints: List[Endpoint] = []
         for r in range(self.nranks):
             ep = Endpoint(r)
-            ep._wake = lambda proc: self.sched.try_wake(proc)
+            ep._wake = sched.try_wake
             self.endpoints.append(ep)
             network.attach_endpoint(r, ep.deliver)
 
@@ -121,8 +138,9 @@ class MpiLibrary:
 
     # ------------------------------------------------------------------
     def _count(self, name: str) -> None:
-        self.calls[name] = self.calls.get(name, 0) + 1
-        tr = self.sched.tracer
+        calls = self.calls
+        calls[name] = calls.get(name, 0) + 1
+        tr = self._tracer
         if tr.enabled:
             tr.emit("mpi_library", "call", call=name, incarnation=self.incarnation)
 
@@ -142,33 +160,32 @@ class MpiLibrary:
     # ------------------------------------------------------------------
     def _isend_raw(self, task: RankTask, ctx: int, dst_world: int, tag: int, payload: Any):
         """Eager injection: the send completes locally at injection."""
-        self._check()
-        yield Advance(self.machine.send_overhead)
+        if self.destroyed:
+            self._check()
+        yield self._adv_send
+        src = task.world_rank
         nbytes = payload_nbytes(payload)
-        msg = Message(
-            src=task.world_rank,
-            dst=dst_world,
-            context_id=ctx,
-            tag=tag,
-            payload=payload,
-            nbytes=nbytes,
-        )
+        msg = Message(src, dst_world, ctx, tag, payload, nbytes)
         self.network.inject(msg)
-        req = RealRequest(RequestKind.SEND, ctx, task.world_rank, tag)
+        req = RealRequest(_SEND, ctx, src, tag)
         req.nbytes = nbytes
-        req.complete(payload=None, status=None)
+        # equivalent to req.complete(payload=None, status=None): no
+        # status, no callback registered yet, payload already None
+        req.done = True
         return req
 
     def _irecv_raw(self, task: RankTask, ctx: int, src_world, tag) -> RealRequest:
-        self._check()
-        req = RealRequest(RequestKind.RECV, ctx, src_world, tag)
+        if self.destroyed:
+            self._check()
+        req = RealRequest(_RECV, ctx, src_world, tag)
         self.endpoints[task.world_rank].post_recv(req)
         return req
 
     def _wait(self, task: RankTask, req):
         """Native blocking wait: parks until the request completes."""
-        self._check()
-        if isinstance(req, RealPersistentRequest):
+        if self.destroyed:
+            self._check()
+        if req.__class__ is RealPersistentRequest:
             if not req.active:
                 return None
             payload = yield from self._wait(task, req.current)
@@ -176,12 +193,15 @@ class MpiLibrary:
             return payload
         if not req.done:
             req.waiter = task.proc
-            if req.kind is RequestKind.COLL:
+            if req.kind is _COLL:
                 req.on_complete(lambda _r, p=task.proc: self.sched.try_wake(p))
-            yield Park(f"MPI_Wait({req!r}) rank {task.world_rank}")
+            if self._tracer.enabled:
+                yield Park(f"MPI_Wait({req!r}) rank {task.world_rank}")
+            else:
+                yield _PARK_WAIT
             req.waiter = None
-        if req.kind is RequestKind.RECV:
-            yield Advance(self.machine.recv_overhead)
+        if req.kind is _RECV:
+            yield self._adv_recv
         req.consumed = True
         return req.payload
 

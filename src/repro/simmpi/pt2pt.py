@@ -36,6 +36,8 @@ def _matches(req: RealRequest, msg: Message) -> bool:
 class Endpoint:
     """Per-rank receive-side state."""
 
+    __slots__ = ("world_rank", "unexpected", "posted", "_wake")
+
     def __init__(self, world_rank: int):
         self.world_rank = world_rank
         self.unexpected: List[Message] = []
@@ -45,12 +47,22 @@ class Endpoint:
 
     # ------------------------------------------------------------------
     def deliver(self, msg: Message) -> None:
-        """Network delivery callback: match a posted recv or queue."""
-        for i, req in enumerate(self.posted):
-            if _matches(req, msg):
-                self.posted.pop(i)
-                self._complete_recv(req, msg)
-                return
+        """Network delivery callback: match a posted recv or queue.
+
+        The matching predicate is ``_matches`` inlined: one delivery per
+        message makes this the hottest receive-side loop."""
+        posted = self.posted
+        if posted:
+            ctx = msg.context_id
+            src = msg.src
+            tag = msg.tag
+            for i, req in enumerate(posted):
+                if (req.comm_ctx == ctx
+                        and (req.source is ANY_SOURCE or req.source == src)
+                        and (req.tag is ANY_TAG or req.tag == tag)):
+                    del posted[i]
+                    self._complete_recv(req, msg)
+                    return
         self.unexpected.append(msg)
 
     def _complete_recv(self, req: RealRequest, msg: Message) -> None:
@@ -62,11 +74,18 @@ class Endpoint:
     # ------------------------------------------------------------------
     def post_recv(self, req: RealRequest) -> None:
         """Post an irecv: match the unexpected queue first, else queue it."""
-        for i, msg in enumerate(self.unexpected):
-            if _matches(req, msg):
-                self.unexpected.pop(i)
-                self._complete_recv(req, msg)
-                return
+        unexpected = self.unexpected
+        if unexpected:
+            ctx = req.comm_ctx
+            src = req.source
+            tag = req.tag
+            for i, msg in enumerate(unexpected):
+                if (ctx == msg.context_id
+                        and (src is ANY_SOURCE or src == msg.src)
+                        and (tag is ANY_TAG or tag == msg.tag)):
+                    del unexpected[i]
+                    self._complete_recv(req, msg)
+                    return
         self.posted.append(req)
 
     def iprobe(

@@ -3,13 +3,11 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 _msg_ids = itertools.count(1)
 
 
-@dataclass
 class Message:
     """One point-to-point message in the fabric.
 
@@ -20,16 +18,27 @@ class Message:
     wire size used both by the cost model and by MANA's per-pair byte
     counters; it is computed once at send time so the sender's counter
     and the receiver's counter can never disagree.
+
+    A plain ``__slots__`` class (not a dataclass): one is allocated per
+    point-to-point message, so construction is on the simulator's hot
+    path.  Identity comparison is intentional — the fabric's FIFO check
+    compares heads by ``is``.
     """
 
-    src: int
-    dst: int
-    context_id: int
-    tag: int
-    payload: Any
-    nbytes: int
-    injected_at: float = 0.0
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = ("src", "dst", "context_id", "tag", "payload", "nbytes",
+                 "injected_at", "msg_id")
+
+    def __init__(self, src: int, dst: int, context_id: int, tag: int,
+                 payload: Any, nbytes: int, injected_at: float = 0.0,
+                 msg_id: int | None = None):
+        self.src = src
+        self.dst = dst
+        self.context_id = context_id
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.injected_at = injected_at
+        self.msg_id = next(_msg_ids) if msg_id is None else msg_id
 
     def match_key(self) -> tuple:
         return (self.context_id, self.src, self.tag)

@@ -78,6 +78,14 @@ class Network:
         self._sched = sched
         self._machine = machine
         self.nranks = nranks
+        # hot-path hoists: node lookup table and link constants (the
+        # machine spec is immutable for the life of the network)
+        self._node = [machine.node_of(r) for r in range(nranks)]
+        self._intra_lat = machine.intranode_latency
+        self._intra_bw = machine.intranode_bandwidth
+        self._net_lat = machine.net_latency
+        self._net_bw = machine.net_bandwidth
+        self._tracer = sched.tracer
         self._endpoints: List[Optional[DeliveryFn]] = [None] * nranks
         self._last_arrival: Dict[Tuple[int, int], float] = {}
         self._in_flight: Dict[Tuple[int, int], List[Message]] = defaultdict(list)
@@ -115,21 +123,21 @@ class Network:
 
     # ------------------------------------------------------------------
     def transit_time(self, src: int, dst: int, nbytes: int) -> float:
-        intranode = self._machine.node_of(src) == self._machine.node_of(dst)
-        if intranode:
-            return (
-                self._machine.intranode_latency
-                + nbytes / self._machine.intranode_bandwidth
-            )
-        return self._machine.net_latency + nbytes / self._machine.net_bandwidth
+        if self._node[src] == self._node[dst]:
+            return self._intra_lat + nbytes / self._intra_bw
+        return self._net_lat + nbytes / self._net_bw
 
     def inject(self, msg: Message) -> None:
         """Put a message into the fabric; delivery is scheduled, ordered."""
         if self._sealed:
             raise SimulationError("inject() on a sealed (torn down) network")
-        if self._endpoints[msg.dst] is None:
-            raise SimulationError(f"no endpoint attached for rank {msg.dst}")
-        msg.injected_at = self._sched.now
+        src = msg.src
+        dst = msg.dst
+        if self._endpoints[dst] is None:
+            raise SimulationError(f"no endpoint attached for rank {dst}")
+        sched = self._sched
+        now = sched.now
+        msg.injected_at = now
         extra_delay = 0.0
         if self._fault_filter is not None:
             action = self._fault_filter(msg)
@@ -137,73 +145,76 @@ class Network:
                 if action[0] == "drop":
                     # lost on the wire: never recorded, never in flight
                     self.dropped_messages += 1
-                    tr = self._sched.tracer
+                    tr = self._tracer
                     if tr.enabled:
                         tr.emit(
-                            "network", "fault_drop", rank=msg.src,
-                            dst=msg.dst, msg_id=msg.msg_id,
+                            "network", "fault_drop", rank=src,
+                            dst=dst, msg_id=msg.msg_id,
                             ctx=msg.context_id, nbytes=msg.nbytes,
                         )
                     return
                 if action[0] == "delay":
                     extra_delay = float(action[1])
-                    tr = self._sched.tracer
+                    tr = self._tracer
                     if tr.enabled:
                         tr.emit(
-                            "network", "fault_delay", rank=msg.src,
-                            dst=msg.dst, msg_id=msg.msg_id,
+                            "network", "fault_delay", rank=src,
+                            dst=dst, msg_id=msg.msg_id,
                             delay=extra_delay,
                         )
                 else:
                     raise SimulationError(
                         f"unknown fault-filter action {action!r}"
                     )
-        pair = (msg.src, msg.dst)
-        intranode = self._machine.node_of(msg.src) == self._machine.node_of(msg.dst)
-        arrival = (
-            self._sched.now
-            + self.transit_time(msg.src, msg.dst, msg.nbytes)
-            + extra_delay
-        )
+        pair = (src, dst)
+        nbytes = msg.nbytes
+        intranode = self._node[src] == self._node[dst]
+        if intranode:
+            transit = self._intra_lat + nbytes / self._intra_bw
+        else:
+            transit = self._net_lat + nbytes / self._net_bw
+        arrival = now + transit + extra_delay
         prev = self._last_arrival.get(pair, -1.0)
         if arrival <= prev:
             arrival = prev + 1e-12  # preserve per-pair FIFO with distinct times
         self._last_arrival[pair] = arrival
         self._in_flight[pair].append(msg)
-        self._in_flight_total += 1
-        if self._in_flight_total > self.in_flight_peak:
-            self.in_flight_peak = self._in_flight_total
+        total = self._in_flight_total + 1
+        self._in_flight_total = total
+        if total > self.in_flight_peak:
+            self.in_flight_peak = total
         self.stats.record(msg, intranode)
-        self._sched.schedule_at(arrival, lambda m=msg: self._deliver(m))
-        tr = self._sched.tracer
+        sched.schedule_call_at(arrival, self._deliver, msg)
+        tr = self._tracer
         if tr.enabled:
             tr.emit(
-                "network", "inject", rank=msg.src, dst=msg.dst,
+                "network", "inject", rank=src, dst=dst,
                 msg_id=msg.msg_id, ctx=msg.context_id, tag=msg.tag,
-                nbytes=msg.nbytes, in_flight=self._in_flight_total,
+                nbytes=nbytes, in_flight=total,
             )
 
     def _deliver(self, msg: Message) -> None:
-        if msg.msg_id in self._purged:
+        if self._purged and msg.msg_id in self._purged:
             self._purged.discard(msg.msg_id)
             return
-        pair = (msg.src, msg.dst)
-        queue = self._in_flight[pair]
+        dst = msg.dst
+        queue = self._in_flight[(msg.src, dst)]
         if not queue or queue[0] is not msg:
             raise SimulationError(
                 f"FIFO violation delivering {msg!r}; head is "
                 f"{queue[0]!r}" if queue else f"lost message {msg!r}"
             )
-        queue.pop(0)
-        self._in_flight_total -= 1
-        tr = self._sched.tracer
+        del queue[0]
+        total = self._in_flight_total - 1
+        self._in_flight_total = total
+        tr = self._tracer
         if tr.enabled:
             tr.emit(
-                "network", "deliver", rank=msg.dst, src=msg.src,
+                "network", "deliver", rank=dst, src=msg.src,
                 msg_id=msg.msg_id, ctx=msg.context_id, tag=msg.tag,
-                nbytes=msg.nbytes, in_flight=self._in_flight_total,
+                nbytes=msg.nbytes, in_flight=total,
             )
-        endpoint = self._endpoints[msg.dst]
+        endpoint = self._endpoints[dst]
         assert endpoint is not None
         endpoint(msg)
 

@@ -54,8 +54,17 @@ def payload_nbytes(obj: Any) -> int:
     objects their length; other Python objects fall back to their pickled
     size (deterministic for the value types our workloads send).
     """
+    # exact-type fast paths first: int/float dominate hot-path payloads
+    # (bool deliberately excluded — type(True) is bool, not int)
+    t = type(obj)
+    if t is int:
+        return 8
+    if t is float:
+        return 8
     if obj is None:
         return 0
+    if t is np.ndarray:
+        return int(obj.nbytes)
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
     if isinstance(obj, np.generic):

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 #: canonical stage names, in layer order (top of the stack first)
@@ -49,17 +48,41 @@ STAGES = (
 )
 
 
-@dataclass(frozen=True)
 class TraceEvent:
-    """One typed event on the spine."""
+    """One typed event on the spine.
 
-    seq: int                      # global emission order (monotone)
-    t: float                      # virtual timestamp (DES clock)
-    stage: str                    # one of STAGES
-    kind: str                     # event type within the stage
-    call: Optional[str] = None    # MPI call in progress, if any
-    rank: Optional[int] = None    # world rank concerned, if any
-    detail: Dict[str, Any] = field(default_factory=dict)
+    A plain ``__slots__`` class: one is allocated per emission when
+    tracing is armed, so construction cost matters.  Formatting is
+    deferred entirely to :meth:`to_json` (sink time); the event itself
+    only captures references.
+    """
+
+    __slots__ = ("seq", "t", "stage", "kind", "call", "rank", "detail")
+
+    def __init__(
+        self,
+        seq: int,                      # global emission order (monotone)
+        t: float,                      # virtual timestamp (DES clock)
+        stage: str,                    # one of STAGES
+        kind: str,                     # event type within the stage
+        call: Optional[str] = None,    # MPI call in progress, if any
+        rank: Optional[int] = None,    # world rank concerned, if any
+        detail: Optional[Dict[str, Any]] = None,
+    ):
+        self.seq = seq
+        self.t = t
+        self.stage = stage
+        self.kind = kind
+        self.call = call
+        self.rank = rank
+        self.detail = {} if detail is None else detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceEvent(seq={self.seq}, t={self.t!r}, stage={self.stage!r}, "
+            f"kind={self.kind!r}, call={self.call!r}, rank={self.rank!r}, "
+            f"detail={self.detail!r})"
+        )
 
     def to_json(self) -> str:
         rec = {
@@ -179,18 +202,10 @@ class Tracer:
         """Emit one event (no-op with the null sink)."""
         if not self.enabled:
             return
-        self._seq += 1
-        self.sink.emit(
-            TraceEvent(
-                seq=self._seq,
-                t=self._clock(),
-                stage=stage,
-                kind=kind,
-                call=call,
-                rank=rank,
-                detail=detail,
-            )
-        )
+        seq = self._seq + 1
+        self._seq = seq
+        self.sink.emit(TraceEvent(seq, self._clock(), stage, kind,
+                                  call, rank, detail))
 
     def close(self) -> None:
         self.sink.close()

@@ -1,0 +1,161 @@
+"""Golden equivalence suite for the DES fast path.
+
+The scheduler rewrite (same-instant FIFO lane, lambda-free event
+encoding), the fused pipeline dispatch, lazy tracing, and the memoized
+cost models are all gated on ONE contract: every seeded scenario —
+machines x configs x applications, checkpointed sessions and fault
+scenarios included — produces **bit-identical** virtual times, trace
+event streams, traffic counters, and per-rank results to the
+pre-optimization implementation.
+
+The fingerprints below were captured with ``tools/capture_goldens.py``
+at the commit immediately before the fast-path work (the reference
+implementation is preserved as
+:class:`repro.des.scheduler.ReferenceScheduler`).  The capture tool
+rewinds every process-global id counter (msg ids, request ids, window
+and memory handles) at the start of each case, so each fingerprint is
+order-independent — pytest may interleave cases freely and still match
+a fresh-interpreter capture.  Two directions are checked:
+
+* the optimized fast path still reproduces every golden, and
+* ``ReferenceScheduler`` (the original heap-of-closures event loop)
+  also reproduces them, so the goldens themselves stay anchored to the
+  pre-optimization semantics and the A/B comparison is live, not
+  historical.
+
+Regenerate after an *intentional* semantic change with::
+
+    PYTHONPATH=src python tools/capture_goldens.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "tools"))
+
+from capture_goldens import matrix  # noqa: E402
+
+from repro.des.scheduler import ReferenceScheduler, Scheduler  # noqa: E402
+
+#: captured by tools/capture_goldens.py before the fast-path work;
+#: ``elapsed`` is the exact float repr of the final virtual time and
+#: ``trace_sha`` hashes the full JSONL trace stream (every emission, in
+#: order, with virtual timestamps)
+GOLDENS = {
+    "dft_testbox_master": {
+        "bytes": 122430,
+        "elapsed": "0.0019721001075625145",
+        "events": 2911,
+        "messages": 653,
+        "results_sha": "29338a67a9640e7fd4123e7481dff6b6aec5e49d11351da2d1f463767726c2f6",
+        "trace_sha": "924f5d37e43052c1dd52ed10455dd7c4615a960b1ad0e5958b47c9f70225f5b4",
+    },
+    "dft_haswell_master": {
+        "bytes": 378116,
+        "elapsed": "0.0019520934383793925",
+        "events": 9307,
+        "messages": 2219,
+        "results_sha": "623f3b1093b957d1b3c172d651a225e52f3b399d93aaddbff31622fe445787a4",
+        "trace_sha": "260d8c25236fee6134ceec197a668ec755682a37a38742efaef887e5619eac03",
+    },
+    "ring_testbox_original": {
+        "bytes": 240,
+        "elapsed": "0.0012676074666666693",
+        "events": 557,
+        "messages": 66,
+        "results_sha": "78275ade93a9d4726987b7c3d13a5d04a140fc53cc30fb52d631c76ed87c5f1e",
+        "trace_sha": "9af638c4a661790519470000a518f23ec511a05ba9bb7da6c90c0bc1bb385cf1",
+    },
+    "randpt2pt_mn_2pc": {
+        "bytes": 2304,
+        "elapsed": "0.00019513000000000012",
+        "events": 373,
+        "messages": 54,
+        "results_sha": "eb9a56721adf7986a38d7b1a59b75e5f6fc69c10fa47a47ca92ba5763a54bf51",
+        "trace_sha": "a676c78a8767908be5eaf535099d0ddec9b654e4640d2613067e9bf08edf1ffa",
+    },
+    "md_knl_ft": {
+        "bytes": 4747264,
+        "elapsed": "0.18195015723099833",
+        "events": 6594,
+        "messages": 296,
+        "results_sha": "6e9400d9595c888e72ce5a0e9f72801f86ee6d5ba1566178fdfa8fadce5a7cff",
+        "trace_sha": "8325849d5add6d8c87553378cc750d39ee4941a9ca5f2d6f34f9acd8c3db85de",
+    },
+    "icoll_testbox_2pc": {
+        "bytes": 480,
+        "elapsed": "0.0001864000000000001",
+        "events": 458,
+        "messages": 75,
+        "results_sha": "4ce5a975c0838bd521d3971fb177f412d72a4ab903177ea533d527b7725d35c0",
+        "trace_sha": "103f0b682b91e7ddb6ed24969cbf3fb735040cc8cfffebab19ca5f46bd4a11a1",
+    },
+    "ckpt_ring_2pc": {
+        "bytes": 1104,
+        "elapsed": "0.020850951716666698",
+        "events": 946,
+        "messages": 96,
+        "results_sha": "1041f5b3af406f7d21617730183b48ac133ddc1bc70d6a1eb8caec0f62b21f5c",
+        "trace_sha": "2292dd6f27dc9224a286a1d9fa0581864ac4816be6ed8664b0637503a99b4cd5",
+    },
+    "ckpt_randpt2pt_ft": {
+        "bytes": 2336,
+        "elapsed": "0.0015440651249999996",
+        "events": 470,
+        "messages": 52,
+        "results_sha": "e243f514f4b24aeb6630ddca24682072bf574ba99340144335590d80ab7db1d3",
+        "trace_sha": "0de58523714a40cc400931e6e2ff59de522d7db2a5ab1a1b2019108c00087bd8",
+    },
+    "fault_kill_after_ckpt": {
+        "ok": True,
+        "summary_sha": "0d3e26bf3b77a58f886814b5fa460e35c8c321bf4e5956fb20cf4d5c34a2bf89",
+    },
+    "fault_drop_commit": {
+        "ok": True,
+        "summary_sha": "328c62bd90b70a2da08cbd12c6856adf2f5848c2803a32a68bf789d82eda5a9d",
+    },
+    "fault_corrupt_blob": {
+        "ok": True,
+        "summary_sha": "0388a074b51d0d4bfc6e936cf5084e915bfd31918837013681aca4f84b8eb541",
+    },
+}
+
+_MATRIX = dict(matrix())
+
+
+def test_matrix_covers_goldens():
+    """The capture tool and the pinned goldens must agree on the cases."""
+    assert set(_MATRIX) == set(GOLDENS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_fastpath_bit_identical(name):
+    """Optimized scheduler + fused pipeline reproduce every golden."""
+    assert _MATRIX[name]() == GOLDENS[name]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["dft_testbox_master", "ring_testbox_original", "ckpt_ring_2pc",
+     "fault_drop_commit"],
+)
+def test_reference_scheduler_bit_identical(name, monkeypatch):
+    """The preserved pre-optimization event loop reproduces the same
+    goldens, keeping the A/B anchor live (a subset: the reference loop
+    is slower, and one success per scenario family pins the anchor)."""
+    import repro.mana.session as session_mod
+
+    monkeypatch.setattr(session_mod, "Scheduler", ReferenceScheduler)
+    assert _MATRIX[name]() == GOLDENS[name]
+
+
+def test_reference_is_a_distinct_loop():
+    """Guard against the reference silently collapsing into the fast
+    path (which would make the A/B test vacuous)."""
+    assert ReferenceScheduler is not Scheduler
+    assert ReferenceScheduler.run is not Scheduler.run
+    assert ReferenceScheduler.schedule is not Scheduler.schedule

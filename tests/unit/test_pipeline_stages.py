@@ -464,3 +464,24 @@ class TestLayeringLint:
         )
         found = check_layering.policy_violations(bad)
         assert len(found) == 3
+
+    def test_lint_catches_an_upper_layer_import_in_des_core(self, tmp_path):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            import check_layering
+        finally:
+            sys.path.pop(0)
+        bad = tmp_path / "scheduler.py"
+        bad.write_text(
+            "from repro.mana.session import ManaSession\n"
+            "import repro.simmpi.library\n"
+            "from repro.simnet import Network\n"
+            "import heapq\n"  # fine: stdlib
+        )
+        found = [
+            (lineno, desc)
+            for lineno, mod, desc in check_layering._imports(bad)
+            if any(check_layering._hits(mod, f)
+                   for f in check_layering.DES_FORBIDDEN)
+        ]
+        assert len(found) == 3

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Capture golden fingerprints for the DES fast-path equivalence suite.
+
+Runs the scenario matrix that ``tests/property/test_fastpath_golden.py``
+pins — plain sessions, checkpointed sessions, and seeded fault
+scenarios across machines × configs × applications — and prints one
+JSON object mapping each case name to its fingerprint:
+
+* ``elapsed`` — the final virtual time, as an exact float ``repr``;
+* ``events`` — scheduler events executed;
+* ``trace_sha`` — SHA-256 of the full JSONL trace stream (every
+  emission, in order, with virtual timestamps);
+* network message/byte totals and a hash of the per-rank results.
+
+The optimization contract is that every entry is bit-identical before
+and after the scheduler/pipeline/tracing/costing changes.  Regenerate
+with::
+
+    PYTHONPATH=src python tools/capture_goldens.py > /tmp/goldens.json
+
+and diff against the values embedded in the property test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import itertools
+import json
+
+from repro.apps.dft_proxy import DftConfig, DftProxy
+from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.apps.micro import IcollStream, RandomPt2Pt, TokenRing
+from repro.apps.workloads import workload
+from repro.faults.scenarios import run_scenario
+from repro.hosts import CORI_HASWELL, CORI_KNL, TESTBOX, TESTBOX_MN
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import CheckpointPlan
+from repro.util.trace import JsonlSink
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _reset_id_counters() -> None:
+    """Rewind every process-global id counter whose value can reach a
+    traced repr (msg_id fields, ``MPI_Wait(<req #N>)`` park reasons,
+    window/memory handles).  Each matrix case then fingerprints the same
+    stream no matter how many sessions ran earlier in the process, so
+    the goldens are order-independent — pytest can run the cases in any
+    order and still match a fresh-interpreter capture."""
+    import repro.mana.fortran as _fortran
+    import repro.mana.wrappers as _wrappers
+    import repro.simmpi.library as _library
+    import repro.simmpi.request as _request
+    import repro.simmpi.window as _window
+    import repro.simnet.message as _message
+
+    _message._msg_ids = itertools.count(1)
+    _request._req_ids = itertools.count(1)
+    _window._win_ids = itertools.count(1)
+    _library.LhMemory._ids = itertools.count(1)
+    _wrappers.UpperHalfMemory._ids = 0
+    _fortran._addr_counter = itertools.count(0x7F0000000000)
+
+
+def session_fingerprint(nranks, factory, machine, cfg, ckpt_frac=None):
+    """Run once (twice when checkpointing: a probe run first to place the
+    checkpoint) with tracing armed, and fingerprint everything the
+    fast path must preserve bit-for-bit."""
+    _reset_id_counters()
+    checkpoints = None
+    if ckpt_frac is not None:
+        probe = ManaSession(nranks, factory, machine, cfg).run()
+        checkpoints = [CheckpointPlan(at=probe.elapsed * ckpt_frac,
+                                      action="resume")]
+    buf = io.StringIO()
+    sess = ManaSession(nranks, factory, machine, cfg,
+                       trace_sink=JsonlSink(buf))
+    out = sess.run(checkpoints=checkpoints)
+    stats = sess.network.stats
+    return {
+        "elapsed": repr(out.elapsed),
+        "events": sess.sched.events_run,
+        "trace_sha": _sha(buf.getvalue()),
+        "messages": stats.messages,
+        "bytes": stats.bytes,
+        "results_sha": _sha(json.dumps(out.results, sort_keys=True,
+                                       default=str)),
+    }
+
+
+def scenario_fingerprint(name, seed, nranks):
+    """Fault scenarios summarize their own virtual times; hash the whole
+    JSON-friendly summary."""
+    _reset_id_counters()
+    summary = run_scenario(name, seed=seed, nranks=nranks)
+    return {
+        "ok": summary.get("ok"),
+        "summary_sha": _sha(json.dumps(summary, sort_keys=True,
+                                       default=str)),
+    }
+
+
+#: the golden matrix: machines × configs × apps, faults included
+def matrix():
+    dft8 = DftConfig(nranks=8, workload=workload("CaPOH"), iterations=1)
+    dft16 = DftConfig(nranks=16, workload=workload("CaPOH"), iterations=1)
+    md8 = MdConfig(nranks=8, steps=6, reduce_every=2, rebuild_every=4)
+    return [
+        ("dft_testbox_master", lambda: session_fingerprint(
+            8, lambda r: DftProxy(r, dft8, TESTBOX),
+            TESTBOX, ManaConfig.master())),
+        ("dft_haswell_master", lambda: session_fingerprint(
+            16, lambda r: DftProxy(r, dft16, CORI_HASWELL),
+            CORI_HASWELL, ManaConfig.master())),
+        ("ring_testbox_original", lambda: session_fingerprint(
+            6, lambda r: TokenRing(r, laps=5, compute_s=2e-4),
+            TESTBOX, ManaConfig.original())),
+        ("randpt2pt_mn_2pc", lambda: session_fingerprint(
+            6, lambda r: RandomPt2Pt(r, 6, rounds=6, seed=7),
+            TESTBOX_MN, ManaConfig.feature_2pc())),
+        ("md_knl_ft", lambda: session_fingerprint(
+            8, lambda r: MdProxy(r, md8, CORI_KNL),
+            CORI_KNL, ManaConfig.fault_tolerant())),
+        ("icoll_testbox_2pc", lambda: session_fingerprint(
+            5, lambda r: IcollStream(r, waves=3, inflight=2),
+            TESTBOX, ManaConfig.feature_2pc())),
+        ("ckpt_ring_2pc", lambda: session_fingerprint(
+            6, lambda r: TokenRing(r, laps=8, compute_s=2e-3),
+            TESTBOX, ManaConfig.feature_2pc(), ckpt_frac=0.4)),
+        ("ckpt_randpt2pt_ft", lambda: session_fingerprint(
+            4, lambda r: RandomPt2Pt(r, 4, rounds=8, seed=11),
+            TESTBOX_MN, ManaConfig.fault_tolerant(), ckpt_frac=0.5)),
+        ("fault_kill_after_ckpt", lambda: scenario_fingerprint(
+            "kill-after-ckpt", 3, 4)),
+        ("fault_drop_commit", lambda: scenario_fingerprint(
+            "drop-commit", 1, 4)),
+        ("fault_corrupt_blob", lambda: scenario_fingerprint(
+            "corrupt-blob", 2, 4)),
+    ]
+
+
+def capture() -> dict:
+    return {name: fn() for name, fn in matrix()}
+
+
+if __name__ == "__main__":
+    print(json.dumps(capture(), indent=2, sort_keys=True))

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Layering lint: façades stay façades, mechanism stays below policy.
 
-Three rules, all enforced by walking module ASTs:
+Four rules, all enforced by walking module ASTs:
 
 1. ``src/repro/mana/wrappers.py`` routes every MPI entry point through
    the interposition pipeline (``repro/mana/pipeline/``).  Costing and
@@ -28,6 +28,14 @@ Three rules, all enforced by walking module ASTs:
    model grow protocol knowledge and make every store depend on the
    fault subsystem.
 
+4. ``repro.des`` is the discrete-event substrate — the fast path the
+   whole simulator stands on.  It imports nothing from ``repro.mana``,
+   ``repro.simmpi``, or ``repro.simnet``: the upper layers drive the
+   scheduler through ``spawn``/``run``/syscall yields, never the other
+   way around.  A reverse import would couple the event core's hot loop
+   to the layers it exists to serve (and silently reintroduce per-event
+   overhead the fast-path work removed).
+
 Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
 """
 
@@ -52,6 +60,10 @@ POLICY_PKG = "repro.faults"
 #: the storage mechanism layer and the only repro packages it may touch
 STORAGE_DIR = "repro/storage"
 STORAGE_ALLOWED = ("repro.hosts", "repro.util", "repro.storage")
+
+#: the DES core and the upper layers it must never import
+DES_DIR = "repro/des"
+DES_FORBIDDEN = ("repro.mana", "repro.simmpi", "repro.simnet")
 
 
 def _imports(path: Path) -> List[Tuple[int, str, str]]:
@@ -131,8 +143,22 @@ def storage_violations() -> List[str]:
     return bad
 
 
+def des_violations() -> List[str]:
+    """Rule 4: the DES core never imports the layers built on top of it."""
+    bad = []
+    for path in sorted((SRC / DES_DIR).rglob("*.py")):
+        rel = path.relative_to(REPO)
+        bad.extend(
+            f"{rel}:{lineno}: DES core imports an upper layer: {desc}"
+            for lineno, mod, desc in _imports(path)
+            if any(_hits(mod, f) for f in DES_FORBIDDEN)
+        )
+    return bad
+
+
 def main() -> int:
-    bad = wrapper_violations() + faults_violations() + storage_violations()
+    bad = (wrapper_violations() + faults_violations() + storage_violations()
+           + des_violations())
     if bad:
         for line in bad:
             print(line, file=sys.stderr)
@@ -141,13 +167,15 @@ def main() -> int:
             "through pipeline stages; repro.des and repro.simnet never "
             "import repro.faults (injection goes via registered hooks); "
             "repro.storage imports only repro.hosts/repro.util (never "
-            "repro.mana or repro.faults)",
+            "repro.mana or repro.faults); repro.des imports nothing from "
+            "repro.mana/repro.simmpi/repro.simnet",
             file=sys.stderr,
         )
         return 1
     print("layering OK: wrappers.py imports neither fsreg nor counters; "
           "des/simnet do not import repro.faults; repro.storage stays "
-          "below repro.mana and repro.faults")
+          "below repro.mana and repro.faults; repro.des imports none of "
+          "repro.mana/repro.simmpi/repro.simnet")
     return 0
 
 
