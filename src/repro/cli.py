@@ -8,6 +8,8 @@ Subcommands:
 * ``machines`` — list the machine models;
 * ``configs`` — show the MANA branch presets and their knobs;
 * ``faults`` — list or run the fault-injection survivability scenarios;
+* ``ir`` — inspect a saved image's replay logs through the IR compiler
+  (dump ops, stats, run the rewrite passes);
 * ``demo`` — run one of the built-in demonstrations.
 """
 
@@ -171,7 +173,10 @@ def cmd_resume(args) -> int:
     machine = machine_by_name(args.machine)
     factory = _build_factory(args, machine)
     cfg = CONFIGS[args.config]()
-    session = resume_from_checkpoint(args.image, factory, machine, cfg)
+    session = resume_from_checkpoint(
+        args.image, factory, machine, cfg,
+        replay_compile=args.replay_compile,
+    )
     out = session.run()
     print(f"resumed from {args.image}; finished at "
           f"{out.elapsed:.6f} virtual seconds")
@@ -238,6 +243,99 @@ def cmd_faults(args) -> int:
                     print(f"{'':>18}{key} = {summary[key]}")
         failures += 0 if summary["ok"] else 1
     return 1 if failures else 0
+
+
+def cmd_ir(args) -> int:
+    import json
+
+    from repro.ir.build import to_entries
+    from repro.ir.passes import default_pipeline
+    from repro.mana.ir_bridge import (
+        job_drain_report,
+        live_cost_fn,
+        programs_from_image,
+    )
+
+    meta, programs = programs_from_image(args.image)
+    print(f"{args.image}: {meta['nranks']} ranks, machine "
+          f"{meta['machine']}, config {meta['cfg_name']}")
+
+    if args.action == "dump":
+        ranks = [args.rank] if args.rank is not None else sorted(programs)
+        for rank in ranks:
+            prog = programs[rank]
+            t = AsciiTable(["seq", "op", "kind", "gid", "result"],
+                           title=f"rank {rank} — {prog.num_calls} calls")
+            for op in list(prog.ops)[:args.limit]:
+                shown = repr(op.result)
+                if len(shown) > 40:
+                    shown = shown[:37] + "..."
+                t.add_row([op.seq, op.opname, op.kind,
+                           op.comm_gid if op.comm_gid is not None else "-",
+                           shown])
+            print(t.render())
+            if len(prog.ops) > args.limit:
+                print(f"... {len(prog.ops) - args.limit} more ops "
+                      f"(raise --limit)")
+        return 0
+
+    if args.action == "stats":
+        t = AsciiTable(["rank", "calls", "collectives", "pt2pt",
+                        "sends", "recvs", "top ops"])
+        report = job_drain_report(programs)
+        for rank in sorted(programs):
+            prog = programs[rank]
+            hist = prog.op_histogram()
+            kinds = {op.opname: op.kind for op in prog.ops}
+            colls = sum(n for name, n in hist.items()
+                        if kinds.get(name) == "collective")
+            top = ", ".join(
+                f"{op}:{n}" for op, n in
+                sorted(hist.items(), key=lambda kv: -kv[1])[:3]
+            )
+            pr = report["per_rank"][rank]
+            t.add_row([rank, prog.num_calls, colls,
+                       pr["sends_posted"] + pr["recvs_posted"],
+                       pr["sends_posted"], pr["recvs_posted"], top])
+        print(t.render())
+        print(f"drain check: {report['sends_posted']} sends posted, "
+              f"{report['recvs_posted']} recvs posted, "
+              f"{report['would_be_undrained']} would-be undrained at "
+              "the checkpoint cut")
+        if args.json:
+            print(json.dumps(report, sort_keys=True))
+        return 0
+
+    if args.action == "run-passes":
+        machine = machine_by_name(meta["machine"])
+        cfg_name = {"original": "original", "master": "master",
+                    "feature/2pc": "2pc", "fault-tolerant": "ft"}.get(
+                        meta["cfg_name"], "2pc")
+        cfg = CONFIGS[cfg_name]()
+        pipeline = default_pipeline(live_cost_fn=live_cost_fn(cfg, machine))
+        t = AsciiTable(["rank", "ops in", "ops out", "batches",
+                        "eliminated", "live cost skipped (s)"])
+        for rank in sorted(programs):
+            prog = programs[rank]
+            entries = to_entries(prog)
+            optimized, stats = pipeline.run(prog)
+            by_name = dict(stats)
+            # round-trip safety: the serving stream is preserved
+            assert to_entries(optimized) == entries, (
+                f"rank {rank}: pass pipeline changed the serving stream"
+            )
+            t.add_row([
+                rank, len(prog.ops), len(optimized.ops),
+                by_name["batch_collectives"]["batches"],
+                by_name["dead_op_elim"]["eliminated"],
+                f"{by_name['fold_costs']['live_cost_skipped']:.3e}",
+            ])
+        print(t.render())
+        print("round-trip OK: every rank's rewritten program serves the "
+              "identical call stream")
+        return 0
+
+    raise SystemExit(f"unknown ir action {args.action!r}")
 
 
 def cmd_demo(args) -> int:
@@ -308,6 +406,11 @@ def main(argv: Optional[list] = None) -> int:
                               "testbox-mn"])
     res.add_argument("--config", default="2pc",
                      choices=["original", "master", "2pc", "ft"])
+    res.add_argument("--replay-compile", default=None,
+                     choices=["off", "noop", "opt"],
+                     help="replay interpreter: legacy log walk (off), "
+                          "IR with no passes (noop), or the optimizing "
+                          "IR pipeline (opt)")
     res.add_argument("--show-results", action="store_true")
     res.set_defaults(fn=cmd_resume)
 
@@ -344,6 +447,20 @@ def main(argv: Optional[list] = None) -> int:
     faults.add_argument("--json", action="store_true",
                         help="one JSON summary per line instead of text")
     faults.set_defaults(fn=cmd_faults)
+
+    ir = sub.add_parser(
+        "ir", help="inspect a saved image through the IR replay compiler"
+    )
+    ir.add_argument("action", choices=["dump", "stats", "run-passes"])
+    ir.add_argument("--image", required=True,
+                    help="checkpoint file from run --halt-at/--image-out")
+    ir.add_argument("--rank", type=int, default=None,
+                    help="dump only this rank (default: all)")
+    ir.add_argument("--limit", type=int, default=32,
+                    help="ops shown per rank in dump (default 32)")
+    ir.add_argument("--json", action="store_true",
+                    help="also print the drain report as JSON (stats)")
+    ir.set_defaults(fn=cmd_ir)
 
     demo = sub.add_parser("demo", help="run a built-in demonstration")
     demo.add_argument("name", choices=["quickstart", "deadlock",

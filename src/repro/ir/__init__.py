@@ -1,0 +1,68 @@
+"""``repro.ir`` — the trace-to-IR replay compiler.
+
+The REEXEC restart mode records every wrapper call's externally visible
+result and re-executes the application against that log (see
+``repro.mana.replay``).  The recorded call stream *is* a program, and
+this package treats it as one — in the MLIR/xdsl style, scaled down to
+exactly what replay needs:
+
+* :mod:`repro.ir.ops` — slotted, immutable op records: one serving op
+  per recorded wrapper call, plus compute/advance control ops;
+* :mod:`repro.ir.build` — lower a per-rank replay log into an
+  :class:`~repro.ir.ops.IrProgram` (and back, losslessly);
+* :mod:`repro.ir.passes` — the rewrite-pass framework: dead-op
+  elimination, collective batching, constant-folded costing, and the
+  analysis-only drain check;
+* :mod:`repro.ir.interp` — :class:`~repro.ir.interp.ReplayCursor`, the
+  fast interpreter the REEXEC wrappers drive instead of the per-call
+  log walk.
+
+Layering (enforced by ``tools/check_layering.py`` rule 5): this package
+imports only ``repro.util`` and ``repro.errors``.  Everything that knows
+about MANA — the ``RECORDED_OPS`` table, communicator GIDs, the costing
+memo, trace emission — lives in the bridging adapter
+``repro.mana.ir_bridge``.
+"""
+
+from repro.ir.build import OpClassification, lower_entries
+from repro.ir.interp import ReplayCursor
+from repro.ir.ops import (
+    AdvanceOp,
+    CallOp,
+    CollectiveBatchOp,
+    ComputeOp,
+    ConstOp,
+    DeadOp,
+    IrProgram,
+)
+from repro.ir.passes import (
+    BatchCollectives,
+    DeadOpElim,
+    DrainCheck,
+    FoldCosts,
+    IrPass,
+    PassPipeline,
+    default_pipeline,
+    noop_pipeline,
+)
+
+__all__ = [
+    "AdvanceOp",
+    "BatchCollectives",
+    "CallOp",
+    "CollectiveBatchOp",
+    "ComputeOp",
+    "ConstOp",
+    "DeadOp",
+    "DeadOpElim",
+    "DrainCheck",
+    "FoldCosts",
+    "IrPass",
+    "IrProgram",
+    "OpClassification",
+    "PassPipeline",
+    "ReplayCursor",
+    "default_pipeline",
+    "lower_entries",
+    "noop_pipeline",
+]

@@ -1,0 +1,146 @@
+"""Lower a replay log into an IR program — and back, losslessly.
+
+The builder is deliberately ignorant of MANA: it receives an
+:class:`OpClassification` describing how opnames map onto op families
+(which materializers are the identity, which calls are collectives,
+which create communicators) plus an optional GID function, all supplied
+by the bridging adapter ``repro.mana.ir_bridge``.  The log itself is a
+plain list of ``(opname, recorded_value)`` tuples.
+
+Round-trip contract: ``to_entries(lower_entries(entries, ...))`` yields
+a list equal to ``entries`` — lowering loses nothing, so the IR path
+can always fall back to (or be diffed against) the legacy interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.ir.ops import (
+    KIND_COLLECTIVE,
+    KIND_COMM,
+    KIND_MEM,
+    KIND_OTHER,
+    KIND_PT2PT,
+    CallOp,
+    ConstOp,
+    IrOp,
+    IrProgram,
+)
+
+
+class OpClassification:
+    """How opnames map onto IR op families (supplied by the bridge).
+
+    * ``identity`` — ops whose materializer is the identity: they lower
+      to :class:`ConstOp` (everything else keeps its side-effecting
+      materializer via :class:`CallOp`);
+    * ``collectives`` / ``pt2pt`` / ``comm_creating`` / ``memory`` —
+      kind labels, used by passes (batching, drain analysis);
+    * ``gid_fn`` — maps a member world-rank tuple to a communicator
+      GID; only communicator-creating ops record membership, so only
+      they get a resolved ``comm_gid`` (best effort — see
+      :class:`~repro.ir.passes.BatchCollectives` for how unresolved
+      GIDs are treated).
+    """
+
+    __slots__ = ("identity", "collectives", "pt2pt", "comm_creating",
+                 "memory", "gid_fn", "_lower_cache")
+
+    def __init__(
+        self,
+        identity: FrozenSet[str] = frozenset(),
+        collectives: FrozenSet[str] = frozenset(),
+        pt2pt: FrozenSet[str] = frozenset(),
+        comm_creating: FrozenSet[str] = frozenset(),
+        memory: FrozenSet[str] = frozenset(),
+        gid_fn: Optional[Callable[[Tuple[int, ...]], int]] = None,
+    ):
+        self.identity = frozenset(identity)
+        self.collectives = frozenset(collectives)
+        self.pt2pt = frozenset(pt2pt)
+        self.comm_creating = frozenset(comm_creating)
+        self.memory = frozenset(memory)
+        self.gid_fn = gid_fn
+        #: opname -> (op class, kind, needs gid resolution); the sets
+        #: are frozen, so the lowering of an opname never changes — and
+        #: a job lowers one log per rank against one classification
+        self._lower_cache = {}
+
+    def kind_of(self, opname: str) -> str:
+        if opname in self.comm_creating or opname == "comm_free":
+            return KIND_COMM
+        if opname in self.collectives:
+            return KIND_COLLECTIVE
+        if opname in self.pt2pt:
+            return KIND_PT2PT
+        if opname in self.memory:
+            return KIND_MEM
+        return KIND_OTHER
+
+
+#: lowering with no classification: every op keeps its materializer
+_EMPTY = OpClassification()
+
+
+def _comm_gid(classify: OpClassification, opname: str, value: Any):
+    """Best-effort GID: only comm-creating ops record membership
+    (``("comm", vid, world_ranks, name)``); everything else is None."""
+    if classify.gid_fn is None or opname not in classify.comm_creating:
+        return None
+    if (isinstance(value, tuple) and len(value) == 4
+            and value[0] == "comm"):
+        return classify.gid_fn(tuple(value[2]))
+    return None
+
+
+def lower_entries(
+    entries: Sequence[Tuple[str, Any]],
+    rank: int = 0,
+    classify: Optional[OpClassification] = None,
+) -> IrProgram:
+    """Lower one rank's log into an :class:`IrProgram`.
+
+    Each entry becomes exactly one serving op, in order, with
+    ``seq`` = its log position; recorded values are referenced, never
+    copied (ops are immutable and the log is never mutated in place).
+    """
+    classify = classify if classify is not None else _EMPTY
+    identity = classify.identity
+    cache = classify._lower_cache
+    ops: List[IrOp] = []
+    for seq, (opname, value) in enumerate(entries):
+        spec = cache.get(opname)
+        if spec is None:
+            spec = cache[opname] = (
+                ConstOp if opname in identity else CallOp,
+                classify.kind_of(opname),
+                classify.gid_fn is not None
+                and opname in classify.comm_creating,
+            )
+        klass, kind, wants_gid = spec
+        gid = _comm_gid(classify, opname, value) if wants_gid else None
+        # positional: (opname, seq, rank, comm_gid, result, cost,
+        # live_cost, yield_after, kind) — this loop runs once per log
+        # entry per rank, so kwargs plumbing is worth skipping
+        ops.append(klass(opname, seq, rank, gid, value, 0.0, 0.0, True,
+                         kind))
+    return IrProgram(rank, tuple(ops))
+
+
+def to_entries(program: IrProgram) -> List[Tuple[str, Any]]:
+    """Reconstruct the ``(opname, value)`` log from a program.
+
+    Exact for freshly lowered programs (the round-trip contract); for
+    rewritten programs it reconstructs the *serving* stream — batches
+    unfuse to their members, dead ops resurface as ``(opname, None)``.
+    """
+    out: List[Tuple[str, Any]] = []
+    for op in program.ops:
+        if op.is_control:
+            continue
+        if op.is_batch:
+            out.extend(zip(op.opnames, op.results))
+        else:
+            out.append((op.opname, op.result))
+    return out

@@ -130,6 +130,14 @@ class ManaConfig:
     multi_call_rank_helper: bool = True
     #: record wrapper results for REEXEC (restart-from-image) support
     record_replay: bool = False
+    #: REEXEC replay execution strategy (``repro.ir``): ``"off"`` = the
+    #: legacy per-call log walk; ``"noop"`` = IR interpreter with no
+    #: rewrite passes (bit-identical to legacy — the equivalence
+    #: reference); ``"opt"`` = IR interpreter with the optimizing
+    #: pipeline (cost folding, collective batching, dead-op
+    #: elimination) — final virtual times and results are unchanged,
+    #: but the replay phase runs far fewer scheduler events
+    replay_compile: str = "off"
     #: compress checkpoint images (DMTCP's --gzip): smaller images and
     #: burst-buffer time, at extra serialization CPU cost
     compress_images: bool = False
@@ -168,6 +176,13 @@ class ManaConfig:
     #: bit-for-bit; see ``repro.storage.policy`` for presets
     storage: StoragePolicy = field(default_factory=StoragePolicy.bb_only)
     overheads: OverheadModel = field(default_factory=OverheadModel)
+
+    def __post_init__(self):
+        if self.replay_compile not in ("off", "noop", "opt"):
+            raise ValueError(
+                f"replay_compile must be 'off', 'noop', or 'opt', not "
+                f"{self.replay_compile!r}"
+            )
 
     # ------------------------------------------------------------------
     # branch presets from the paper's evaluation (Section IV)

@@ -46,22 +46,9 @@ class LowerHalfCosting:
         key = (lower_calls, vreq_ops, pt2pt)
         hit = self._memo.get(key)
         if hit is None:
-            ov = self.cfg.overheads
-            nominal = ov.ckpt_lock + ov.commit_phase
-            if self.cfg.lambda_frames:
-                nominal += ov.lambda_frames
-            nominal += ov.vreq_bookkeeping * vreq_ops
-            if pt2pt:
-                nominal += ov.counter_update
-                # local-to-global rank translation helper (Section III-I.3)
-                lower_calls += (
-                    ov.rank_helper_lh_calls if self.cfg.multi_call_rank_helper
-                    else 1
-                )
-            base = self.machine.mana_sw_time(nominal)
-            base += lower_half_call_cost(self.cfg, self.machine, lower_calls)
-            hit = (base, lower_calls)
-            self._memo[key] = hit
+            hit = self._memo[key] = self._cost_and_calls(
+                self.cfg, self.machine, lower_calls, vreq_ops, pt2pt
+            )
         base, lower_calls = hit
         cost = base + lookup_cost
         st = self.mrank.stats
@@ -73,6 +60,49 @@ class LowerHalfCosting:
                 cost=cost, lower_calls=lower_calls, vreq_ops=vreq_ops,
             )
         return cost
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cost_and_calls(cfg, machine, lower_calls, vreq_ops, pt2pt):
+        """The memo-miss computation: (base cost, effective lower
+        calls), pure in (cfg, machine).  Kept as ONE function so every
+        consumer — the charging path and the IR cost folder — resolves
+        the identical float-op order."""
+        ov = cfg.overheads
+        nominal = ov.ckpt_lock + ov.commit_phase
+        if cfg.lambda_frames:
+            nominal += ov.lambda_frames
+        nominal += ov.vreq_bookkeeping * vreq_ops
+        if pt2pt:
+            nominal += ov.counter_update
+            # local-to-global rank translation helper (Section III-I.3)
+            lower_calls += (
+                ov.rank_helper_lh_calls if cfg.multi_call_rank_helper else 1
+            )
+        base = machine.mana_sw_time(nominal)
+        base += lower_half_call_cost(cfg, machine, lower_calls)
+        return base, lower_calls
+
+    @staticmethod
+    def pure_cost(
+        cfg,
+        machine,
+        lower_calls: int = 1,
+        vreq_ops: int = 0,
+        pt2pt: bool = False,
+    ) -> float:
+        """One wrapper invocation's modeled cost, *without* charging.
+
+        The IR constant folder's window into the same cost model: no
+        telemetry side effects, no trace emission, bit-identical floats
+        to what :meth:`wrapper_cost` charges for the same shape."""
+        return LowerHalfCosting._cost_and_calls(
+            cfg, machine, lower_calls, vreq_ops, pt2pt
+        )[0]
+
+    def memo_snapshot(self) -> dict:
+        """A copy of the resolved cost memo (telemetry / CLI stats)."""
+        return dict(self._memo)
 
     def wrapper_advance(
         self,

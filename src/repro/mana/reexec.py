@@ -10,6 +10,7 @@ machinery as a RECONNECT restart.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Optional
 
 from repro.des.syscalls import Advance
@@ -24,7 +25,14 @@ from repro.mana.wrappers import ManaApi
 
 
 def build_recording_api(mrank: ManaRank, log: ReplayLog) -> ManaApi:
-    """A ManaApi whose public methods record (or replay) their results."""
+    """A ManaApi whose public methods record (or replay) their results.
+
+    When the config selects a compiled replay (``replay_compile`` of
+    ``"noop"`` or ``"opt"``) and the log is staged for replaying, the
+    log is lowered to an IR program and the wrappers drive a
+    :class:`~repro.ir.interp.ReplayCursor` instead of walking the raw
+    log (see ``repro.mana.ir_bridge``).
+    """
     if mrank.rt.cfg.collective_mode is CollectiveMode.PT2PT_ALWAYS:
         raise RestartError(
             "record_replay (REEXEC) cannot be combined with PT2PT_ALWAYS "
@@ -33,10 +41,36 @@ def build_recording_api(mrank: ManaRank, log: ReplayLog) -> ManaApi:
         )
     api = ManaApi(mrank)
     api.replay_log = log
+    api.replay_cursor = None
+    if log.replaying and mrank.rt.cfg.replay_compile != "off":
+        from repro.mana.ir_bridge import compile_replay, cursor_from_program
+
+        # a precompiled program for this rank (compile_image: one
+        # compilation per saved image, shared across restart rounds)
+        # skips the per-restart lowering and pass pipeline entirely
+        precompiled = getattr(mrank.rt, "_ir_compiled", None)
+        program = None if precompiled is None else precompiled.get(mrank.rank)
+        if program is not None:
+            if program.source_calls != len(log.entries):
+                raise RestartError(
+                    f"rank {mrank.rank}: precompiled program serves "
+                    f"{program.source_calls} calls but the image log has "
+                    f"{len(log.entries)} — compiled against a different "
+                    "image?"
+                )
+            api.replay_cursor = cursor_from_program(
+                program, mrank.rt.cfg.replay_compile)
+        else:
+            api.replay_cursor = compile_replay(mrank, log)
     for name, (extract, materialize) in RECORDED_OPS.items():
         setattr(api, name, _bind(api, name, extract, materialize))
     api.compute = _bind_compute(api)
     return api
+
+
+#: shared zero advance for the compiled replay's cooperative yields
+#: (Advance is immutable, so one object serves every zero-cost step)
+_ADV0 = Advance(0.0)
 
 
 def _bind(api: ManaApi, name: str, extract, materialize):
@@ -45,10 +79,23 @@ def _bind(api: ManaApi, name: str, extract, materialize):
     def method(*args, **kwargs):
         log = api.replay_log
         if log.replaying:
-            if log.exhausted():
+            cursor = api.replay_cursor
+            if cursor is not None:
+                # compiled replay: the IR interpreter serves the call
+                if cursor.exhausted():
+                    yield from reexec_transition(api)
+                    # fall through: this is the call that was in
+                    # progress at checkpoint time; it now runs live
+                else:
+                    value, needs_mat, dt = cursor.step(name)
+                    result = (materialize(api, value, args, kwargs)
+                              if needs_mat else value)
+                    if dt is not None:
+                        yield _ADV0 if dt == 0.0 else Advance(dt)
+                    return result
+            elif log.exhausted():
                 yield from reexec_transition(api)
-                # fall through: this is the call that was in progress at
-                # checkpoint time; it now runs live
+                # fall through, as above
             else:
                 value = log.next(name)
                 result = materialize(api, value, args, kwargs)
@@ -67,8 +114,12 @@ def _bind_compute(api: ManaApi):
 
     def compute(seconds: Optional[float] = None, flops: Optional[float] = None):
         if api.replay_log.replaying:
-            # pre-checkpoint compute already happened; re-execution is free
-            yield Advance(0.0)
+            # pre-checkpoint compute already happened; re-execution is
+            # free — the compiled-opt cursor also skips the cooperative
+            # zero-advance (nothing downstream can observe it)
+            cursor = api.replay_cursor
+            if cursor is None or cursor.yield_on_compute:
+                yield Advance(0.0)
             return
         yield from base(api, seconds=seconds, flops=flops)
 
@@ -120,6 +171,7 @@ def reexec_transition(api: ManaApi):
         _recreate_persistent,
         _replay_icolls,
         _repost_pending_irecvs,
+        record_reexec_restart,
     )
 
     mrank = api.mrank
@@ -193,6 +245,18 @@ def reexec_transition(api: ManaApi):
                     persistent_recreated=persistent,
                     icolls_replayed=replayed)
 
+    cursor = getattr(api, "replay_cursor", None)
+    record_reexec_restart(mrank, {
+        "rank": mrank.rank,
+        "replay_compile": rt.cfg.replay_compile,
+        "replayed_calls": api.replay_log.completed_calls,
+        "compiled_ops": len(cursor.program.ops) if cursor is not None else None,
+        "read_time": read_time,
+        "transition_seconds": rt.sched.now - started,
+        # wall-clock stamp so harnesses can isolate the replay phase
+        # (resume start .. last transition) from the live remainder
+        "wall_stamp": _time.perf_counter(),
+    })
     api.replay_log.replaying = False
 
 

@@ -56,7 +56,7 @@ class ReplayLog:
         if self.replaying:
             raise ManaError("record() while replaying")
         # results may alias application buffers that mutate later
-        self.entries.append((op, copy.deepcopy(value)))
+        self.entries.append((op, _snapshot(value)))
 
     def exhausted(self) -> bool:
         return self.cursor >= len(self.entries)
@@ -86,6 +86,39 @@ class ReplayLog:
     def restore(self, snap: list) -> None:
         self.entries = list(snap)
         self.cursor = 0
+
+
+# ----------------------------------------------------------------------
+# recording snapshots: most recorded values are None, ints, floats, or
+# small tuples of them — a deepcopy per call is the dominant recording
+# cost.  The fast path returns immutable values as-is; everything else
+# still deepcopies.  Aliasing must match copy.deepcopy exactly (atomic
+# types are returned unchanged; a tuple is returned unchanged iff every
+# element deepcopies to itself), because pickled images memoize by
+# object identity and the image bytes are golden-pinned.
+# ----------------------------------------------------------------------
+
+_ATOMIC_TYPES = frozenset({type(None), bool, int, float, complex, str, bytes})
+
+
+def _fully_immutable(value: Any) -> bool:
+    t = type(value)
+    if t in _ATOMIC_TYPES:
+        return True
+    if t is tuple:
+        return all(_fully_immutable(v) for v in value)
+    return False
+
+
+def _snapshot(value: Any) -> Any:
+    t = type(value)
+    if t in _ATOMIC_TYPES:
+        return value
+    if t is tuple and _fully_immutable(value):
+        # deepcopy would return the original object too (all elements
+        # copy to themselves), so aliasing is unchanged
+        return value
+    return copy.deepcopy(value)
 
 
 # ----------------------------------------------------------------------

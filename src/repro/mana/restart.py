@@ -241,3 +241,15 @@ def perform_restart(mrank: ManaRank):
         "icolls_replayed": replayed,
         "restart_seconds": rt.sched.now - started,
     }
+
+
+def record_reexec_restart(mrank: ManaRank, info: dict) -> None:
+    """Append one rank's replay-to-live transition record.
+
+    REEXEC restarts happen per rank in a fresh session (no shared
+    restart round like RECONNECT), so each transition appends its own
+    record: which replay interpreter ran (``replay_compile`` mode),
+    how many recorded calls were replayed, and the transition timing.
+    Telemetry only — never consulted by the protocol.
+    """
+    mrank.rt.reexec_records.append(info)

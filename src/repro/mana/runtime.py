@@ -234,6 +234,10 @@ class ManaRuntime:
         # telemetry
         self.checkpoint_records: List[dict] = []
         self.restart_records: List[dict] = []
+        #: REEXEC replay-to-live transitions, one per replayed rank
+        #: (includes the compiled-replay pipeline summary when the
+        #: ``replay_compile`` knob is on)
+        self.reexec_records: List[dict] = []
         #: injected faults (appended by repro.faults.FaultInjector)
         self.fault_records: List[dict] = []
         #: automatic rollback-restart recoveries (RecoveryOrchestrator)

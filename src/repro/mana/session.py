@@ -561,10 +561,23 @@ def resume_from_checkpoint(
     program_factory: ProgramFactory,
     machine: MachineSpec,
     cfg: Optional[ManaConfig] = None,
+    replay_compile: Optional[str] = None,
+    trace_sink: Optional[Any] = None,
+    compiled: Optional[dict] = None,
 ) -> "ManaSession":
     """Build a fresh session (new scheduler, network, lower half — a new
     'process') that resumes the computation saved at ``path`` by
     deterministic re-execution (REEXEC restart mode).
+
+    ``replay_compile`` overrides the config's replay interpreter
+    selection for this resume only (``"off"``/``"noop"``/``"opt"``, see
+    :class:`~repro.mana.config.ManaConfig`); ``trace_sink`` arms the
+    trace spine as in :class:`ManaSession`.  ``compiled`` takes a
+    ``{rank: IrProgram}`` map from
+    :func:`repro.mana.ir_bridge.compile_image` — restart rounds of the
+    same image then skip the per-resume lowering and pass pipeline
+    (the programs must come from this image; the resume validates the
+    call counts and refuses a mismatched compilation).
 
     The caller runs it: ``resume_from_checkpoint(...).run()``.
     """
@@ -574,6 +587,8 @@ def resume_from_checkpoint(
         saved = serde.loads(fh.read())
     cfg = cfg if cfg is not None else ManaConfig.feature_2pc()
     cfg = cfg.but(record_replay=True)
+    if replay_compile is not None:
+        cfg = cfg.but(replay_compile=replay_compile)
     if saved["machine"] != machine.name:
         raise ValueError(
             f"image was taken on {saved['machine']!r}, not {machine.name!r}"
@@ -584,7 +599,11 @@ def resume_from_checkpoint(
                 "image has no replay log; the original run must use a "
                 "record_replay=True configuration to support REEXEC"
             )
-    return ManaSession(
+    sess = ManaSession(
         saved["nranks"], program_factory, machine, cfg,
         reexec_images=saved["images"],
+        trace_sink=trace_sink,
     )
+    if compiled is not None:
+        sess.rt._ir_compiled = compiled
+    return sess

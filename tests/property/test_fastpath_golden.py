@@ -37,7 +37,11 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "tools"))
 
-from capture_goldens import matrix  # noqa: E402
+from capture_goldens import (  # noqa: E402
+    REEXEC_CASES,
+    matrix,
+    reexec_fingerprint,
+)
 
 from repro.des.scheduler import ReferenceScheduler, Scheduler  # noqa: E402
 
@@ -122,6 +126,38 @@ GOLDENS = {
         "ok": True,
         "summary_sha": "0388a074b51d0d4bfc6e936cf5084e915bfd31918837013681aca4f84b8eb541",
     },
+    "reexec_ring_2pc": {
+        "bytes": 128,
+        "elapsed": "0.005599789447619044",
+        "events": 312,
+        "messages": 24,
+        "results_sha": "c441a2ca6d2b04cdc1dacfcfd67fbd34992282cd0840487575a5c58b087155d6",
+        "trace_sha": "25ff3cdf5288a3af402f6a319805fa3702c33e4399b6321896dc329a5d74cc4d",
+    },
+    "reexec_randpt2pt_2pc": {
+        "bytes": 960,
+        "elapsed": "0.003365594761904759",
+        "events": 311,
+        "messages": 30,
+        "results_sha": "7d94c65748cff3e78ce7862d411ac8f887fbb513dc9acc104b56c42bfeed4571",
+        "trace_sha": "1a9be6e248bc842ac3c64181f3a085c409a7e5b483566d9987ed5e0af51a7a72",
+    },
+    "reexec_icoll_2pc": {
+        "bytes": 960,
+        "elapsed": "0.00453680571428571",
+        "events": 809,
+        "messages": 128,
+        "results_sha": "dad70af6a6059e3e33a3d897335ee163fceae69642ea96124b715242eecf32d8",
+        "trace_sha": "d6ab9223f01f0bbdd54768e670f91b49b4405db5f18115e4385a63079b53dc4a",
+    },
+    "reexec_churn_2pc": {
+        "bytes": 416,
+        "elapsed": "0.003517578228571425",
+        "events": 225,
+        "messages": 32,
+        "results_sha": "e1d24f1677082980ad3e61fc2a64d8232c03217ff3038c0b27aba60897d34db7",
+        "trace_sha": "74d6ec0d5442b637d2581a9ccb0ae333640061e86d9fba0cfeae96ec098a0abf",
+    },
 }
 
 _MATRIX = dict(matrix())
@@ -151,6 +187,31 @@ def test_reference_scheduler_bit_identical(name, monkeypatch):
 
     monkeypatch.setattr(session_mod, "Scheduler", ReferenceScheduler)
     assert _MATRIX[name]() == GOLDENS[name]
+
+
+@pytest.mark.parametrize("name", sorted(REEXEC_CASES))
+def test_ir_noop_bit_identical(name):
+    """The IR replay interpreter with the no-op pass pipeline is
+    bit-identical to the legacy per-call log walk: same virtual times,
+    same trace stream, same traffic, same results.  The ``"off"``
+    fingerprints are pinned in GOLDENS (captured via the capture tool's
+    REEXEC matrix entries), so this also anchors legacy REEXEC itself."""
+    assert reexec_fingerprint(*REEXEC_CASES[name],
+                              replay_compile="noop") == GOLDENS[name]
+
+
+@pytest.mark.parametrize("name", sorted(REEXEC_CASES))
+def test_ir_opt_same_times_fewer_events(name):
+    """The optimizing pipeline changes how replay executes, never what
+    it computes: final virtual times, traffic counters, and per-rank
+    results match the legacy goldens exactly, with strictly fewer
+    scheduler events (dead cooperative yields eliminated).  The trace
+    stream legitimately differs (ir_pass events; fewer advances)."""
+    got = reexec_fingerprint(*REEXEC_CASES[name], replay_compile="opt")
+    gold = GOLDENS[name]
+    for key in ("elapsed", "messages", "bytes", "results_sha"):
+        assert got[key] == gold[key], key
+    assert got["events"] < gold["events"]
 
 
 def test_reference_is_a_distinct_loop():

@@ -96,3 +96,68 @@ def test_halt_requires_mana_config(capsys):
 def test_machines_includes_perlmutter(capsys):
     rc, out = run_cli(capsys, "machines")
     assert "perlmutter" in out
+
+
+def test_ir_dump_stats_and_passes(tmp_path, capsys):
+    """The offline IR toolchain: halt a recorded run, then lower and
+    inspect its image via every ``ir`` action."""
+    image = tmp_path / "ring.ckpt"
+    rc, out = run_cli(capsys, "run", "--app", "ring", "--ranks", "4",
+                      "--steps", "12", "--config", "2pc",
+                      "--halt-at", "0.0004", "--image-out", str(image))
+    assert rc == 0
+
+    rc, out = run_cli(capsys, "ir", "dump", "--image", str(image),
+                      "--rank", "0", "--limit", "4")
+    assert rc == 0
+    assert "rank 0" in out
+    assert "seq" in out
+
+    rc, out = run_cli(capsys, "ir", "stats", "--image", str(image),
+                      "--json")
+    assert rc == 0
+    assert "drain check:" in out
+    assert '"would_be_undrained"' in out
+
+    rc, out = run_cli(capsys, "ir", "run-passes", "--image", str(image))
+    assert rc == 0
+    assert "ops out" in out
+
+
+def test_resume_replay_compile_flag(tmp_path, capsys):
+    image = tmp_path / "ring.ckpt"
+    rc, _ = run_cli(capsys, "run", "--app", "ring", "--ranks", "4",
+                    "--steps", "12", "--config", "2pc",
+                    "--halt-at", "0.0004", "--image-out", str(image))
+    assert rc == 0
+    outs = {}
+    for mode in ("off", "noop", "opt"):
+        rc, out = run_cli(capsys, "resume", "--image", str(image),
+                          "--app", "ring", "--ranks", "4", "--steps", "12",
+                          "--replay-compile", mode)
+        assert rc == 0
+        outs[mode] = out
+    # the final virtual time line is identical across interpreters
+    final = {m: [l for l in o.splitlines() if "finished at" in l]
+             for m, o in outs.items()}
+    assert final["off"] == final["noop"] == final["opt"]
+
+
+def test_ir_requires_recorded_image(tmp_path, capsys):
+    """An image captured without record_replay has no logs to lower."""
+    from repro.apps.micro import TokenRing
+    from repro.hosts import TESTBOX
+    from repro.mana import ManaConfig, ManaSession
+    from repro.mana.session import CheckpointPlan
+
+    cfg = ManaConfig.feature_2pc()  # record_replay stays False
+    factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
+    baseline = ManaSession(4, factory, TESTBOX, cfg).run()
+    halted = ManaSession(4, factory, TESTBOX, cfg)
+    halted.run(checkpoints=[
+        CheckpointPlan(at=baseline.elapsed * 0.5, action="halt")
+    ])
+    image = tmp_path / "plain.ckpt"
+    halted.save_checkpoint(image)
+    with pytest.raises(ValueError, match="no replay log"):
+        main(["ir", "stats", "--image", str(image)])

@@ -27,15 +27,17 @@ import hashlib
 import io
 import itertools
 import json
+import os
+import tempfile
 
 from repro.apps.dft_proxy import DftConfig, DftProxy
 from repro.apps.md_proxy import MdConfig, MdProxy
-from repro.apps.micro import IcollStream, RandomPt2Pt, TokenRing
+from repro.apps.micro import CommChurn, IcollStream, RandomPt2Pt, TokenRing
 from repro.apps.workloads import workload
 from repro.faults.scenarios import run_scenario
 from repro.hosts import CORI_HASWELL, CORI_KNL, TESTBOX, TESTBOX_MN
 from repro.mana import ManaConfig, ManaSession
-from repro.mana.session import CheckpointPlan
+from repro.mana.session import CheckpointPlan, resume_from_checkpoint
 from repro.util.trace import JsonlSink
 
 
@@ -103,6 +105,67 @@ def scenario_fingerprint(name, seed, nranks):
     }
 
 
+def reexec_fingerprint(nranks, factory, machine, cfg, ckpt_frac,
+                       replay_compile="off"):
+    """Halt a run mid-flight, save the image, resume it by REEXEC
+    (deterministic re-execution), and fingerprint the *resumed* session.
+
+    ``replay_compile`` selects the replay interpreter: ``"off"`` is the
+    legacy per-call log walk, ``"noop"`` the IR interpreter with no
+    passes (contractually bit-identical to ``"off"``), ``"opt"`` the
+    optimizing pass pipeline (identical virtual times and results;
+    fewer scheduler events, different trace stream)."""
+    _reset_id_counters()
+    cfg = cfg.but(record_replay=True)
+    probe = ManaSession(nranks, factory, machine, cfg).run()
+    halted = ManaSession(nranks, factory, machine, cfg)
+    halted.run(checkpoints=[
+        CheckpointPlan(at=probe.elapsed * ckpt_frac, action="halt")
+    ])
+    fd, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(fd)
+    try:
+        halted.save_checkpoint(path)
+        buf = io.StringIO()
+        sess = resume_from_checkpoint(path, factory, machine, cfg,
+                                      replay_compile=replay_compile,
+                                      trace_sink=JsonlSink(buf))
+        out = sess.run()
+    finally:
+        os.unlink(path)
+    stats = sess.network.stats
+    return {
+        "elapsed": repr(out.elapsed),
+        "events": sess.sched.events_run,
+        "trace_sha": _sha(buf.getvalue()),
+        "messages": stats.messages,
+        "bytes": stats.bytes,
+        "results_sha": _sha(json.dumps(out.results, sort_keys=True,
+                                       default=str)),
+    }
+
+
+#: REEXEC restart scenarios shared between this capture tool and the
+#: property test: the test pins the ``"off"`` fingerprints below as
+#: goldens, re-runs each case with ``replay_compile="noop"`` and
+#: asserts bit-identity, and with ``"opt"`` asserting matching virtual
+#: times/traffic/results with no more scheduler events
+REEXEC_CASES = {
+    "reexec_ring_2pc": (
+        4, lambda r: TokenRing(r, laps=8, compute_s=1e-3),
+        TESTBOX, ManaConfig.feature_2pc(), 0.5),
+    "reexec_randpt2pt_2pc": (
+        5, lambda r: RandomPt2Pt(r, 5, rounds=8, seed=3, compute_s=1e-4),
+        TESTBOX, ManaConfig.feature_2pc(), 0.5),
+    "reexec_icoll_2pc": (
+        4, lambda r: IcollStream(r, waves=5, inflight=3, compute_s=1e-3),
+        TESTBOX, ManaConfig.feature_2pc(), 0.5),
+    "reexec_churn_2pc": (
+        4, lambda r: CommChurn(r, generations=4, compute_s=1e-3),
+        TESTBOX, ManaConfig.feature_2pc(), 0.6),
+}
+
+
 #: the golden matrix: machines × configs × apps, faults included
 def matrix():
     dft8 = DftConfig(nranks=8, workload=workload("CaPOH"), iterations=1)
@@ -139,6 +202,9 @@ def matrix():
             "drop-commit", 1, 4)),
         ("fault_corrupt_blob", lambda: scenario_fingerprint(
             "corrupt-blob", 2, 4)),
+    ] + [
+        (name, lambda case=case: reexec_fingerprint(*case))
+        for name, case in REEXEC_CASES.items()
     ]
 
 

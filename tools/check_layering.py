@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Layering lint: façades stay façades, mechanism stays below policy.
 
-Four rules, all enforced by walking module ASTs:
+Five rules, all enforced by walking module ASTs:
 
 1. ``src/repro/mana/wrappers.py`` routes every MPI entry point through
    the interposition pipeline (``repro/mana/pipeline/``).  Costing and
@@ -36,6 +36,15 @@ Four rules, all enforced by walking module ASTs:
    to the layers it exists to serve (and silently reintroduce per-event
    overhead the fast-path work removed).
 
+5. ``repro.ir`` is the pure replay-compiler layer: op records, the
+   lowering builder, rewrite passes, and the tape interpreter.  It may
+   import only ``repro.util`` and ``repro.errors`` — never MANA, the
+   simulated MPI, the network, or the scheduler.  Everything the IR
+   needs from those layers (the ``RECORDED_OPS`` classification, cost
+   estimates, communicator gids) is injected through
+   ``repro.mana.ir_bridge``; a direct import would entangle the
+   compiler with the runtime it exists to replay.
+
 Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
 """
 
@@ -64,6 +73,10 @@ STORAGE_ALLOWED = ("repro.hosts", "repro.util", "repro.storage")
 #: the DES core and the upper layers it must never import
 DES_DIR = "repro/des"
 DES_FORBIDDEN = ("repro.mana", "repro.simmpi", "repro.simnet")
+
+#: the pure IR layer and the only repro packages it may touch
+IR_DIR = "repro/ir"
+IR_ALLOWED = ("repro.util", "repro.errors", "repro.ir")
 
 
 def _imports(path: Path) -> List[Tuple[int, str, str]]:
@@ -156,9 +169,27 @@ def des_violations() -> List[str]:
     return bad
 
 
+def ir_violations() -> List[str]:
+    """Rule 5: ``repro.ir`` stays pure — any ``repro.*`` import outside
+    util/errors couples the replay compiler to the runtime."""
+    bad = []
+    for path in sorted((SRC / IR_DIR).rglob("*.py")):
+        rel = path.relative_to(REPO)
+        for lineno, mod, desc in _imports(path):
+            if not _hits(mod, "repro"):
+                continue
+            if any(_hits(mod, ok) for ok in IR_ALLOWED):
+                continue
+            bad.append(
+                f"{rel}:{lineno}: pure IR layer imports the runtime "
+                f"(use repro.mana.ir_bridge): {desc}"
+            )
+    return bad
+
+
 def main() -> int:
     bad = (wrapper_violations() + faults_violations() + storage_violations()
-           + des_violations())
+           + des_violations() + ir_violations())
     if bad:
         for line in bad:
             print(line, file=sys.stderr)
@@ -168,14 +199,17 @@ def main() -> int:
             "import repro.faults (injection goes via registered hooks); "
             "repro.storage imports only repro.hosts/repro.util (never "
             "repro.mana or repro.faults); repro.des imports nothing from "
-            "repro.mana/repro.simmpi/repro.simnet",
+            "repro.mana/repro.simmpi/repro.simnet; repro.ir imports only "
+            "repro.util/repro.errors (runtime access goes through "
+            "repro.mana.ir_bridge)",
             file=sys.stderr,
         )
         return 1
     print("layering OK: wrappers.py imports neither fsreg nor counters; "
           "des/simnet do not import repro.faults; repro.storage stays "
           "below repro.mana and repro.faults; repro.des imports none of "
-          "repro.mana/repro.simmpi/repro.simnet")
+          "repro.mana/repro.simmpi/repro.simnet; repro.ir imports only "
+          "repro.util/repro.errors")
     return 0
 
 
