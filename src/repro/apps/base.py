@@ -12,8 +12,9 @@ image sizes and burst-buffer times of the paper's Figure 3).
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
+from repro.errors import RestartError
 from repro.util.serde import payload_nbytes
 
 
@@ -35,6 +36,31 @@ class MpiProgram:
     def snapshot_state(self) -> Dict[str, Any]:
         """What goes into the checkpoint image for this rank."""
         return self.mem
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a previously snapshotted (or re-decomposed) state.
+
+        Elastic restart constructs a fresh program per new rank and hands
+        it one entry of :meth:`redecompose`'s output before ``main`` runs.
+        """
+        self.mem = state
+
+    @classmethod
+    def redecompose(
+        cls, states: List[Dict[str, Any]], new_nranks: int
+    ) -> List[Dict[str, Any]]:
+        """Re-split the job's per-rank state across ``new_nranks`` ranks.
+
+        ``states`` is the old world's snapshots in rank order, taken at a
+        collective horizon (the two-phase commit equalizes them, so every
+        entry sits at the same iteration boundary).  Programs that
+        support elastic restart override this to concatenate their block
+        decomposition and re-split it; the default refuses.
+        """
+        raise RestartError(
+            f"{cls.__name__} does not support elastic restart "
+            "(no redecompose implementation)"
+        )
 
     def resident_bytes(self) -> int:
         """Modeled upper-half application footprint, in bytes.

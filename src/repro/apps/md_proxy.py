@@ -171,3 +171,44 @@ class MdProxy(MpiProgram):
     # ------------------------------------------------------------------
     def resident_bytes(self) -> int:
         return int(self.atoms_per_rank * BYTES_PER_ATOM)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def redecompose(cls, states, new_nranks):
+        """Elastic restart: re-split the particle blocks over a new world.
+
+        The old ranks' particle blocks are concatenated in rank order
+        (recovering the global particle array) and re-split contiguously
+        into ``new_nranks`` blocks.  Requires every image to sit at the
+        same step — the two-phase commit's collective-horizon
+        equalization guarantees this when the checkpoint cut lands at the
+        energy allreduce; a cut elsewhere is refused rather than silently
+        misaligned.
+        """
+        from repro.errors import RestartError
+
+        steps = {s["step"] for s in states}
+        if len(steps) != 1:
+            raise RestartError(
+                f"elastic restart needs all ranks at one iteration "
+                f"boundary; images disagree on step: {sorted(steps)}"
+            )
+        step = steps.pop()
+        positions = np.concatenate([np.asarray(s["positions"]) for s in states])
+        velocities = np.concatenate(
+            [np.asarray(s["velocities"]) for s in states]
+        )
+        pos_blocks = np.array_split(positions, new_nranks)
+        vel_blocks = np.array_split(velocities, new_nranks)
+        # the energy trace is an allreduce result: identical on every
+        # rank, so any image's copy serves the whole new world
+        trace = list(states[0]["energy_trace"])
+        return [
+            {
+                "positions": pos_blocks[r].copy(),
+                "velocities": vel_blocks[r].copy(),
+                "energy_trace": list(trace),
+                "step": step,
+            }
+            for r in range(new_nranks)
+        ]

@@ -195,6 +195,81 @@ class CommChurn(MpiProgram):
         return results
 
 
+class ElasticBlockSum(MpiProgram):
+    """Block-decomposed iterated sum whose answer is independent of the
+    rank count — the elastic-restart proof workload.
+
+    The global item array ``0..total_items-1`` is block-decomposed over
+    the world; each iteration computes, splits the world into an
+    even/odd subcommunicator (re-derived every iteration, so an elastic
+    restart re-splits deterministically from the *new* world), reduces
+    the local partial over the subcommunicator, then accumulates the
+    world allreduce of the local partial into ``mem["acc"]``.  The
+    accumulated total is decomposition-invariant (every item contributes
+    once per iteration regardless of which rank holds it), so
+    :meth:`expected` checks an elastic restart end-to-end.
+
+    ``mem`` is updated immediately after the world allreduce, before the
+    ``comm_free`` — both collectives, so the two-phase commit's horizon
+    equalization parks every rank at the same instance and the images
+    agree on ``iter``/``acc``, which :meth:`redecompose` asserts.
+    """
+
+    def __init__(self, rank: int, nranks: int, total_items: int = 64,
+                 iters: int = 6, compute_s: float = 1e-4):
+        super().__init__(rank)
+        self.nranks = nranks
+        self.total_items = total_items
+        self.iters = iters
+        self.compute_s = compute_s
+        blocks = np.array_split(np.arange(total_items), nranks)
+        self.mem["block"] = [int(x) for x in blocks[rank]]
+        self.mem["acc"] = 0
+        self.mem["iter"] = 0
+
+    def main(self, api):
+        for it in range(self.mem["iter"], self.iters):
+            yield from api.compute(self.compute_s)
+            local = sum(self.mem["block"]) * (it + 1)
+            sub = yield from api.comm_split(api.rank % 2, key=api.rank)
+            # subcommunicator reduction: exercises deterministic
+            # re-splitting; its value is decomposition-dependent, so it
+            # never enters the checkpointed accumulator
+            yield from api.allreduce(local, SUM, comm=sub)
+            total = yield from api.allreduce(local, SUM)
+            self.mem["acc"] += total
+            self.mem["iter"] = it + 1
+            yield from api.comm_free(sub)
+        return self.mem["acc"]
+
+    @staticmethod
+    def expected(total_items: int, iters: int) -> int:
+        item_sum = total_items * (total_items - 1) // 2
+        return item_sum * (iters * (iters + 1) // 2)
+
+    @classmethod
+    def redecompose(cls, states, new_nranks):
+        """Concatenate the old blocks in rank order and re-split them
+        contiguously over the new world."""
+        from repro.errors import RestartError
+
+        iters = {s["iter"] for s in states}
+        accs = {s["acc"] for s in states}
+        if len(iters) != 1 or len(accs) != 1:
+            raise RestartError(
+                "elastic restart needs every image at one collective "
+                f"horizon; images disagree (iters={sorted(iters)}, "
+                f"accs={sorted(accs)})"
+            )
+        acc, it = accs.pop(), iters.pop()
+        items = [x for s in states for x in s["block"]]
+        blocks = np.array_split(np.asarray(items), new_nranks)
+        return [
+            {"block": [int(x) for x in blocks[r]], "acc": acc, "iter": it}
+            for r in range(new_nranks)
+        ]
+
+
 class StragglerCollective(MpiProgram):
     """One rank computes far longer than the rest before joining each
     collective — the Section III-J straggler scenario."""

@@ -21,7 +21,7 @@ from typing import Optional
 
 from repro.apps.dft_proxy import DftConfig, DftProxy
 from repro.apps.md_proxy import MdConfig, MdProxy
-from repro.apps.micro import TokenRing
+from repro.apps.micro import ElasticBlockSum, TokenRing
 from repro.apps.workloads import BY_NAME, TABLE_I
 from repro.hosts import (
     CORI_HASWELL,
@@ -63,6 +63,8 @@ def _build_factory(args, machine):
         return lambda r: DftProxy(r, dft, machine)
     if args.app == "ring":
         return lambda r: TokenRing(r, laps=args.steps)
+    if args.app == "elastic":
+        return lambda r: ElasticBlockSum(r, args.ranks, iters=args.steps)
     raise SystemExit(f"unknown app {args.app!r}")
 
 
@@ -170,13 +172,27 @@ def cmd_configs(_args) -> int:
 
 
 def cmd_resume(args) -> int:
+    from repro.mana.session import resume_elastic
+    from repro.util import serde
+
     machine = machine_by_name(args.machine)
-    factory = _build_factory(args, machine)
     cfg = CONFIGS[args.config]()
-    session = resume_from_checkpoint(
-        args.image, factory, machine, cfg,
-        replay_compile=args.replay_compile,
-    )
+    with open(args.image, "rb") as fh:
+        saved_nranks = serde.loads(fh.read())["nranks"]
+    if args.ranks is None:
+        args.ranks = saved_nranks
+    factory = _build_factory(args, machine)
+    if args.ranks != saved_nranks:
+        print(f"image holds {saved_nranks} ranks, target world is "
+              f"{args.ranks}: elastic restart (app-level re-decomposition; "
+              "protocol state of the old world is dropped)")
+        session = resume_elastic(args.image, factory, machine,
+                                 nranks=args.ranks, cfg=cfg)
+    else:
+        session = resume_from_checkpoint(
+            args.image, factory, machine, cfg,
+            replay_compile=args.replay_compile,
+        )
     out = session.run()
     print(f"resumed from {args.image}; finished at "
           f"{out.elapsed:.6f} virtual seconds")
@@ -282,7 +298,8 @@ def cmd_ir(args) -> int:
     if args.action == "stats":
         t = AsciiTable(["rank", "calls", "collectives", "pt2pt",
                         "sends", "recvs", "top ops"])
-        report = job_drain_report(programs)
+        report = job_drain_report(programs,
+                                  elastic_world=args.elastic_ranks)
         for rank in sorted(programs):
             prog = programs[rank]
             hist = prog.op_histogram()
@@ -302,6 +319,11 @@ def cmd_ir(args) -> int:
               f"{report['recvs_posted']} recvs posted, "
               f"{report['would_be_undrained']} would-be undrained at "
               "the checkpoint cut")
+        if args.elastic_ranks is not None:
+            print(f"elastic check (world={args.elastic_ranks}): "
+                  f"{report['unmatchable_recvs']} recorded receives from "
+                  f"ranks >= {args.elastic_ranks} — replay could never "
+                  "rematch them; elastic restart re-decomposes instead")
         if args.json:
             print(json.dumps(report, sort_keys=True))
         return 0
@@ -312,7 +334,10 @@ def cmd_ir(args) -> int:
                     "feature/2pc": "2pc", "fault-tolerant": "ft"}.get(
                         meta["cfg_name"], "2pc")
         cfg = CONFIGS[cfg_name]()
-        pipeline = default_pipeline(live_cost_fn=live_cost_fn(cfg, machine))
+        from repro.mana.binding import LowerHalfBinding
+
+        pipeline = default_pipeline(
+            live_cost_fn=live_cost_fn(LowerHalfBinding(cfg, machine)))
         t = AsciiTable(["rank", "ops in", "ops out", "batches",
                         "eliminated", "live cost skipped (s)"])
         for rank in sorted(programs):
@@ -360,7 +385,8 @@ def main(argv: Optional[list] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run a workload")
-    run.add_argument("--app", choices=["md", "vasp", "ring"], default="md")
+    run.add_argument("--app", choices=["md", "vasp", "ring", "elastic"],
+                     default="md")
     run.add_argument("--ranks", type=int, default=16)
     run.add_argument("--steps", type=int, default=10,
                      help="MD steps / ring laps")
@@ -395,8 +421,12 @@ def main(argv: Optional[list] = None) -> int:
         "resume", help="resume a halted run from its image file (REEXEC)"
     )
     res.add_argument("--image", required=True)
-    res.add_argument("--app", choices=["md", "vasp", "ring"], default="md")
-    res.add_argument("--ranks", type=int, default=16)
+    res.add_argument("--app", choices=["md", "vasp", "ring", "elastic"],
+                     default="md")
+    res.add_argument("--ranks", type=int, default=None,
+                     help="target rank count (default: the image's); a "
+                          "different count triggers an elastic restart "
+                          "via the app's redecompose hook")
     res.add_argument("--steps", type=int, default=10)
     res.add_argument("--iterations", type=int, default=3)
     res.add_argument("--workload", default="CaPOH", choices=sorted(BY_NAME))
@@ -460,6 +490,9 @@ def main(argv: Optional[list] = None) -> int:
                     help="ops shown per rank in dump (default 32)")
     ir.add_argument("--json", action="store_true",
                     help="also print the drain report as JSON (stats)")
+    ir.add_argument("--elastic-ranks", type=int, default=None,
+                    help="stats: flag recorded receives no rank of a "
+                         "world this size could have posted")
     ir.set_defaults(fn=cmd_ir)
 
     demo = sub.add_parser("demo", help="run a built-in demonstration")

@@ -78,3 +78,15 @@ class HaltSignal(ReproError):
     """Raised through a rank's program to terminate it after a "halt"
     checkpoint (the job was killed after writing its image; a REEXEC
     session resumes it from the file)."""
+
+
+class MigrationWarning(UserWarning):
+    """A checkpoint image is being restored on a different machine than
+    the one it was taken on.
+
+    This is a supported operation — the portable upper half carries no
+    machine-derived state, and the lower half is re-derived from the
+    target machine — but the user should know that elapsed times, cost
+    models, and the FS-register tier now reflect the *target* machine.
+    A genuinely unknown source machine still raises ``ValueError``.
+    """

@@ -124,3 +124,8 @@ class MachineSpec:
         except ValueError:
             return False
         return (major, minor) >= (5, 9)
+
+    def provenance(self) -> dict:
+        """The identity stamped into checkpoint images taken here, read
+        back at restore time to attribute (and warn about) migrations."""
+        return {"machine": self.name, "kernel": self.linux_kernel}

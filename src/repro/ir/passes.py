@@ -255,6 +255,27 @@ SEND_POSTING = frozenset({"send", "isend", "sendrecv", "send_init"})
 RECV_POSTING = frozenset({"recv", "irecv", "sendrecv", "recv_init"})
 
 
+def _recorded_sources(result: Any):
+    """Yield the resolved source ranks of any Status-like records inside
+    a recorded result.
+
+    Receive-family results materialize as ``(payload, Status)`` tuples
+    (``recv``/``wait``) or lists of them (``waitall``); the Status is
+    duck-typed (``source``/``tag``/``count`` attributes) because this
+    layer must not import the simulator's MPI types (layering rule 5).
+    """
+    stack = [result]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (tuple, list)):
+            stack.extend(item)
+        elif (hasattr(item, "source") and hasattr(item, "tag")
+              and hasattr(item, "count")):
+            src = item.source
+            if isinstance(src, int):
+                yield src
+
+
 class DrainCheck(IrPass):
     """Analysis-only: send/recv posting imbalance at the boundary.
 
@@ -267,9 +288,22 @@ class DrainCheck(IrPass):
     :func:`drain_report` to aggregate across ranks, where a nonzero
     *global* imbalance means messages were in flight (or buffered by
     the drain) at the cut.
+
+    With ``elastic_world`` set (the rank count of a planned elastic
+    restart), the pass additionally flags recorded receives whose
+    resolved source rank would not exist in the shrunken world:
+    ``source >= elastic_world``.  Those records are evidence the log's
+    communication pattern depends on ranks the new world lacks — replay
+    itself still works (recorded results are served, not re-matched),
+    but it tells an operator that a *replay-based* elastic restart could
+    never reproduce this traffic, which is why elastic restart goes
+    through app-level re-decomposition instead.
     """
 
     name = "drain_check"
+
+    def __init__(self, elastic_world: Optional[int] = None):
+        self.elastic_world = elastic_world
 
     def run(self, program: IrProgram) -> PassResult:
         sends = 0
@@ -287,28 +321,56 @@ class DrainCheck(IrPass):
             if posted:
                 per_op[name] = per_op.get(name, 0) + 1
 
+        world = self.elastic_world
+        unmatchable: List[Dict[str, Any]] = []
         for op in program.ops:
             if op.is_control:
                 continue
             if op.is_batch:
                 for name in op.opnames:
                     count(name)
+                if world is not None:
+                    for name, res in zip(op.opnames, op.results):
+                        for src in _recorded_sources(res):
+                            if src >= world:
+                                unmatchable.append({
+                                    "opname": name, "seq": op.seq,
+                                    "source": src,
+                                })
             else:
                 count(op.opname)
-        return PassResult(program, {
+                if world is not None:
+                    for src in _recorded_sources(op.result):
+                        if src >= world:
+                            unmatchable.append({
+                                "opname": op.opname, "seq": op.seq,
+                                "source": src,
+                            })
+        stats: Dict[str, Any] = {
             "sends_posted": sends,
             "recvs_posted": recvs,
             "imbalance": sends - recvs,
             "posting_ops": per_op,
-        })
+        }
+        if world is not None:
+            stats["elastic_world"] = world
+            stats["unmatchable_recvs"] = len(unmatchable)
+            stats["unmatchable"] = unmatchable
+        return PassResult(program, stats)
 
 
-def drain_report(programs: Dict[int, IrProgram]) -> Dict[str, Any]:
-    """Aggregate :class:`DrainCheck` over a whole job's programs."""
+def drain_report(
+    programs: Dict[int, IrProgram],
+    elastic_world: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Aggregate :class:`DrainCheck` over a whole job's programs; pass
+    ``elastic_world`` to also flag receives no rank of a shrunken world
+    could ever have matched."""
     per_rank = {}
     total_sends = 0
     total_recvs = 0
-    check = DrainCheck()
+    total_unmatchable = 0
+    check = DrainCheck(elastic_world=elastic_world)
     for rank in sorted(programs):
         stats = check.run(programs[rank]).stats
         per_rank[rank] = {
@@ -316,9 +378,12 @@ def drain_report(programs: Dict[int, IrProgram]) -> Dict[str, Any]:
             "recvs_posted": stats["recvs_posted"],
             "imbalance": stats["imbalance"],
         }
+        if elastic_world is not None:
+            per_rank[rank]["unmatchable_recvs"] = stats["unmatchable_recvs"]
+            total_unmatchable += stats["unmatchable_recvs"]
         total_sends += stats["sends_posted"]
         total_recvs += stats["recvs_posted"]
-    return {
+    out = {
         "per_rank": per_rank,
         "sends_posted": total_sends,
         "recvs_posted": total_recvs,
@@ -326,3 +391,7 @@ def drain_report(programs: Dict[int, IrProgram]) -> Dict[str, Any]:
         #: in flight or drain-buffered at the checkpoint cut
         "would_be_undrained": total_sends - total_recvs,
     }
+    if elastic_world is not None:
+        out["elastic_world"] = elastic_world
+        out["unmatchable_recvs"] = total_unmatchable
+    return out

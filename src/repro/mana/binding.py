@@ -1,0 +1,105 @@
+"""LowerHalfBinding: everything restart re-derives from the target machine.
+
+MANA's split-process design means the checkpoint image holds only the
+*portable upper half* (application state, replay log, protocol counters,
+virtual handles — see :mod:`repro.mana.portable`); the lower half — the
+MPI library, the network, and every machine-derived cost the simulator
+prices wrapper calls with — is rebuilt from scratch at restart.  The
+endgame of that split (arXiv 2309.14996) is restarting under a
+*different* lower half than the one checkpointed: migrate an image from
+Cori to Perlmutter and the FS-register tier, the per-call software
+overheads, the burst-buffer bandwidths, and the collective lowering must
+all come from the *target* machine, never thawed from the image.
+
+This object is that boundary.  It is constructed in exactly one place —
+:class:`~repro.mana.runtime.ManaRuntime` — from the session's
+``(ManaConfig, MachineSpec)`` pair, and injected into every consumer
+that used to read the machine directly: the costing stage, the semantic
+lowering, the virtual-ID tables, the fsreg cost model, checkpoint
+serialization/burst-buffer pricing, and the drain.  A fresh session on
+a new machine gets a fresh binding; nothing binding-derived is ever
+serialized into a checkpoint image.
+
+The delegating cost helpers below deliberately perform the *identical*
+float operations the pre-refactor call sites did — the golden harness
+pins same-machine restart bit-identical to the legacy path.
+"""
+
+from __future__ import annotations
+
+from repro.hosts.machine import MachineSpec
+from repro.mana import fsreg
+from repro.mana.config import ManaConfig
+
+
+class LowerHalfBinding:
+    """The machine-derived half of a MANA session, rebuilt per restart.
+
+    Holds the ``(cfg, machine)`` pair plus the resolved FS-register tier
+    and delegates every machine-priced cost through one object, so that
+    restoring an image under a different machine is a matter of
+    constructing a new binding — the portable upper half never sees the
+    machine directly.
+    """
+
+    __slots__ = ("cfg", "machine", "fs_tier")
+
+    def __init__(self, cfg: ManaConfig, machine: MachineSpec):
+        self.cfg = cfg
+        self.machine = machine
+        #: FS-register switch tier, resolved once against this machine's
+        #: kernel (AUTO -> FSGSBASE on >= 5.9, else SYSCALL)
+        self.fs_tier = fsreg.resolve_fs_tier(cfg, machine)
+
+    # ------------------------------------------------------------------
+    # time models (exact delegation — bit-identical to direct reads)
+    # ------------------------------------------------------------------
+    def compute_time(self, flops: float) -> float:
+        return self.machine.compute_time(flops)
+
+    def sw_time(self, seconds: float) -> float:
+        return self.machine.sw_time(seconds)
+
+    def mana_sw_time(self, seconds: float) -> float:
+        return self.machine.mana_sw_time(seconds)
+
+    def fs_switch_cost(self) -> float:
+        return fsreg.fs_switch_cost(self)
+
+    def lower_half_call_cost(self, ncalls: int = 1) -> float:
+        return fsreg.lower_half_call_cost(self, ncalls)
+
+    # ------------------------------------------------------------------
+    # storage / network constants
+    # ------------------------------------------------------------------
+    @property
+    def net_latency(self) -> float:
+        return self.machine.net_latency
+
+    @property
+    def base_image_bytes(self) -> int:
+        return self.machine.base_image_bytes
+
+    def bb_write_time(self, nbytes: int, nranks: int) -> float:
+        """Burst-buffer write time; node bandwidth shared by the node's
+        ranks (the sharers logic that used to live in checkpoint.py)."""
+        sharers = min(self.machine.ranks_per_node, nranks)
+        return self.machine.burst_buffer.write_time(nbytes, sharers)
+
+    def bb_read_time(self, nbytes: int, nranks: int) -> float:
+        sharers = min(self.machine.ranks_per_node, nranks)
+        return self.machine.burst_buffer.read_time(nbytes, sharers)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """The binding's identity, for trace events and restart records."""
+        return {
+            "machine": self.machine.name,
+            "kernel": self.machine.linux_kernel,
+            "fs_tier": self.fs_tier.value,
+            "cfg_name": self.cfg.name,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LowerHalfBinding(machine={self.machine.name!r}, "
+                f"fs_tier={self.fs_tier.value!r}, cfg={self.cfg.name!r})")

@@ -24,6 +24,7 @@ from repro.des.syscalls import Advance
 from repro.errors import CheckpointError
 from repro.mana.config import DrainAlgorithm
 from repro.mana.drain import drain_alltoall, drain_coordinator
+from repro.mana.portable import gather_portable
 from repro.mana.runtime import ManaRank, RankPhase
 from repro.simnet.oob import COORDINATOR_ID
 from repro.util import serde
@@ -54,6 +55,13 @@ class CheckpointImage:
     #: BLAKE2 content checksum over ``blob``, recorded at build time;
     #: None only for hand-built images that predate verification
     checksum: Optional[int] = None
+    #: machine provenance: where this image was taken.  Lives in the
+    #: frame *header*, outside the blob, so stamping it changes neither
+    #: the blob bytes nor the modeled image size — a cross-machine
+    #: restore reads it to warn (and re-derive the lower half), nothing
+    #: machine-derived is in the image itself.
+    machine: str = ""
+    kernel: str = ""
 
     @property
     def nbytes(self) -> int:
@@ -104,6 +112,8 @@ class CheckpointImage:
                 "checksum": (self.checksum if self.checksum is not None
                              else stable_hash(self.blob)),
                 "blob_len": len(self.blob),
+                "machine": self.machine,
+                "kernel": self.kernel,
             },
             sort_keys=True,
         ).encode("utf-8")
@@ -146,59 +156,45 @@ class CheckpointImage:
             base_bytes=header["base_bytes"],
             compressed=header["compressed"],
             checksum=header["checksum"],
+            # pre-provenance frames lack these fields; default to
+            # "unknown origin" rather than refusing to load
+            machine=header.get("machine", ""),
+            kernel=header.get("kernel", ""),
         )
         image.verify()
         return image
 
 
 def build_image(mrank: ManaRank) -> CheckpointImage:
-    """Serialize one rank's upper half."""
+    """Serialize one rank's upper half (the portable state only)."""
     program = mrank.program
-    app_state = program.snapshot_state() if program is not None else None
-    replay_log = None
-    if mrank.api is not None and getattr(mrank.api, "replay_log", None) is not None:
-        replay_log = mrank.api.replay_log.snapshot()
-    state = {
-        "rank": mrank.rank,
-        "epoch": mrank.intent_epoch,
-        "app_state": app_state,
-        "counters": mrank.counters.snapshot(),
-        "drain_buffer": mrank.drain_buffer.snapshot(),
-        "vcomms": mrank.vcomms.snapshot(),
-        "vreqs": mrank.vreqs.snapshot(),
-        "icoll_log": mrank.icoll_log.snapshot(),
-        "blocking_counts": dict(mrank.blocking_counts),
-        "replay_log": replay_log,
-    }
+    state = gather_portable(mrank)
     compress = mrank.rt.cfg.compress_images
     blob = serde.dumps(state, compress=compress)
     declared = program.resident_bytes() if program is not None else 0
+    binding = mrank.rt.binding
     return CheckpointImage(
         rank=mrank.rank,
         epoch=mrank.intent_epoch,
         blob=blob,
         declared_app_bytes=declared,
         taken_at=mrank.rt.sched.now,
-        base_bytes=mrank.rt.machine.base_image_bytes,
+        base_bytes=binding.base_image_bytes,
         compressed=compress,
         checksum=stable_hash(blob),
+        machine=binding.machine.name,
+        kernel=binding.machine.linux_kernel,
     )
 
 
 def bb_write_time(mrank: ManaRank, nbytes: int) -> float:
-    """Burst-buffer write time; node bandwidth shared by the node's
-    ranks.  The cost formula lives in the machine model
-    (:meth:`~repro.hosts.machine.BurstBuffer.write_time`); this wrapper
-    only supplies the sharers factor."""
-    machine = mrank.rt.machine
-    sharers = min(machine.ranks_per_node, mrank.rt.nranks)
-    return machine.burst_buffer.write_time(nbytes, sharers)
+    """Burst-buffer write time, priced through the session's lower-half
+    binding (which supplies the node-sharing factor)."""
+    return mrank.rt.binding.bb_write_time(nbytes, mrank.rt.nranks)
 
 
 def bb_read_time(mrank: ManaRank, nbytes: int) -> float:
-    machine = mrank.rt.machine
-    sharers = min(machine.ranks_per_node, mrank.rt.nranks)
-    return machine.burst_buffer.read_time(nbytes, sharers)
+    return mrank.rt.binding.bb_read_time(nbytes, mrank.rt.nranks)
 
 
 def _materialize_done_irecvs(mrank: ManaRank) -> None:
@@ -247,7 +243,7 @@ def run_checkpoint_cycle(mrank: ManaRank):
         tracer.emit("checkpoint", "image_built", rank=mrank.rank,
                     epoch=image.epoch, nbytes=image.nbytes)
     serialize_bw = SERIALIZE_BW / (3.0 if rt.cfg.compress_images else 1.0)
-    serialize_time = rt.machine.sw_time(
+    serialize_time = rt.binding.sw_time(
         (len(image.blob) + image.declared_app_bytes) / serialize_bw
     )
     # tier placement plan: pre-burst-buffer tiers (local scratch, partner
@@ -272,6 +268,8 @@ def run_checkpoint_cycle(mrank: ManaRank):
                 "declared_app_bytes": image.declared_app_bytes,
                 "base_bytes": image.base_bytes,
                 "compressed": image.compressed,
+                "machine": image.machine,
+                "kernel": image.kernel,
             },
             now=rt.sched.now,
         )

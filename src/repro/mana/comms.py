@@ -19,8 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ManaError
-from repro.hosts.machine import MachineSpec
-from repro.mana.config import CommReconstruction, ManaConfig
+from repro.mana.config import CommReconstruction
 from repro.mana.gid import comm_gid_from_world_ranks
 from repro.mana.vtables import VirtualTable
 from repro.simmpi.comm import RealComm
@@ -59,9 +58,9 @@ class CreationRecord:
 class VirtualCommManager:
     """One rank's communicator tables, active list, and creation log."""
 
-    def __init__(self, cfg: ManaConfig, machine: MachineSpec):
-        self._cfg = cfg
-        self.table: VirtualTable[RealComm] = VirtualTable("vcomm", cfg, machine)
+    def __init__(self, binding):
+        self._cfg = binding.cfg
+        self.table: VirtualTable[RealComm] = VirtualTable("vcomm", binding)
         self.meta: Dict[int, CommMeta] = {}
         self.creation_log: List[CreationRecord] = []
         self.world_vid: Optional[int] = None

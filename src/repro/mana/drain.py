@@ -152,7 +152,7 @@ def drain_alltoall(mrank: ManaRank):
                     f"{deficit} after {spins} spins"
                 )
             # bytes are still in flight; give the fabric time
-            yield Advance(rt.machine.net_latency)
+            yield Advance(rt.binding.net_latency)
         else:
             spins = 0
 
@@ -186,4 +186,4 @@ def drain_coordinator(mrank: ManaRank):
             return  # globally balanced
         yield from _probe_and_buffer(mrank)
         _test_pending_irecvs(mrank)
-        yield Advance(rt.machine.net_latency)
+        yield Advance(rt.binding.net_latency)

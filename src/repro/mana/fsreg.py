@@ -8,6 +8,13 @@ call (jump down, return up).  MANA-2.0 added a user-space workaround for
 old kernels; Linux >= 5.9 exposes the unprivileged FSGSBASE instructions.
 Cori runs kernel 4.12, so the paper's measurements sit on the expensive
 tier unless the workaround is active.
+
+The cost functions price against a
+:class:`~repro.mana.binding.LowerHalfBinding` — the machine-derived half
+of a session — so a cross-machine restart automatically re-prices every
+switch on the *target* machine's tier (only :func:`resolve_fs_tier`
+still takes the raw ``(cfg, machine)`` pair: it is what the binding's
+constructor calls to resolve the tier in the first place).
 """
 
 from __future__ import annotations
@@ -23,18 +30,17 @@ def resolve_fs_tier(cfg: ManaConfig, machine: MachineSpec) -> FsTier:
     return FsTier.FSGSBASE if machine.fsgsbase_available() else FsTier.SYSCALL
 
 
-def fs_switch_cost(cfg: ManaConfig, machine: MachineSpec) -> float:
-    """Virtual seconds for ONE FS-register switch on this machine."""
-    tier = resolve_fs_tier(cfg, machine)
-    ov = cfg.overheads
+def fs_switch_cost(binding) -> float:
+    """Virtual seconds for ONE FS-register switch under this binding."""
+    ov = binding.cfg.overheads
     nominal = {
         FsTier.SYSCALL: ov.fs_syscall,
         FsTier.WORKAROUND: ov.fs_workaround,
         FsTier.FSGSBASE: ov.fs_fsgsbase,
-    }[tier]
-    return machine.mana_sw_time(nominal)
+    }[binding.fs_tier]
+    return binding.machine.mana_sw_time(nominal)
 
 
-def lower_half_call_cost(cfg: ManaConfig, machine: MachineSpec, ncalls: int = 1) -> float:
+def lower_half_call_cost(binding, ncalls: int = 1) -> float:
     """Cost of ``ncalls`` round trips into the lower half (2 switches each)."""
-    return 2.0 * ncalls * fs_switch_cost(cfg, machine)
+    return 2.0 * ncalls * fs_switch_cost(binding)

@@ -80,7 +80,7 @@ def classification() -> OpClassification:
     return classify
 
 
-def live_cost_fn(cfg, machine) -> Callable[[str], float]:
+def live_cost_fn(binding) -> Callable[[str], float]:
     """Per-opname live-pipeline cost estimate for the constant folder.
 
     Resolves the same memoized base cost ``LowerHalfCosting`` would
@@ -89,11 +89,13 @@ def live_cost_fn(cfg, machine) -> Callable[[str], float]:
     using the nominal single-lower-call shape plus the op's
     virtual-request bookkeeping.  An estimate of the work replay
     *skips*, reported by the fold pass — never charged during replay.
+    Priced through a :class:`~repro.mana.binding.LowerHalfBinding`, so a
+    cross-machine restart folds against the *target* machine's costs.
     """
 
     def cost(opname: str) -> float:
         return LowerHalfCosting.pure_cost(
-            cfg, machine,
+            binding,
             lower_calls=1,
             vreq_ops=_VREQ_OPS_ESTIMATE.get(opname, 0),
             pt2pt=opname in PT2PT_OPS,
@@ -126,7 +128,10 @@ def compile_image(path, cfg, machine) -> Dict[int, IrProgram]:
     """
     _meta, programs = programs_from_image(path)
     if cfg.replay_compile == "opt":
-        pipeline = default_pipeline(live_cost_fn=live_cost_fn(cfg, machine))
+        from repro.mana.binding import LowerHalfBinding
+
+        binding = LowerHalfBinding(cfg, machine)
+        pipeline = default_pipeline(live_cost_fn=live_cost_fn(binding))
         programs = {
             rank: pipeline.run(program)[0]
             for rank, program in programs.items()
@@ -159,8 +164,7 @@ def compile_replay(mrank: ManaRank, log: ReplayLog) -> ReplayCursor:
     # one pipeline per runtime: every rank shares the cost-fold memo
     pipeline = getattr(rt, "_ir_pipeline", None)
     if pipeline is None:
-        pipeline = default_pipeline(
-            live_cost_fn=live_cost_fn(rt.cfg, rt.machine))
+        pipeline = default_pipeline(live_cost_fn=live_cost_fn(rt.binding))
         rt._ir_pipeline = pipeline
     program, _stats = pipeline.run(program, observe=observe)
     if tracer.enabled:
@@ -202,6 +206,11 @@ def programs_from_image(path) -> Tuple[dict, Dict[int, IrProgram]]:
     return meta, programs
 
 
-def job_drain_report(programs: Dict[int, IrProgram]) -> dict:
-    """Aggregate the drain-check analysis across a whole job."""
-    return drain_report(programs)
+def job_drain_report(
+    programs: Dict[int, IrProgram],
+    elastic_world: Optional[int] = None,
+) -> dict:
+    """Aggregate the drain-check analysis across a whole job; with
+    ``elastic_world`` set, also flag recorded receives whose source rank
+    would not exist after an elastic restart onto that many ranks."""
+    return drain_report(programs, elastic_world=elastic_world)

@@ -21,13 +21,12 @@ class LowerHalfCosting:
 
     def __init__(self, mrank: ManaRank):
         self.mrank = mrank
-        self.cfg = mrank.rt.cfg
-        self.machine = mrank.rt.machine
+        self.binding = mrank.rt.binding
         self._tracer = mrank.rt.sched.tracer
         #: (lower_calls, vreq_ops, pt2pt) -> (base cost, effective lower
-        #: calls); the cost model is pure in (cfg, machine), both fixed
-        #: for the life of the stage, so each flag combination is
-        #: computed once (same float-op order as the open-coded form)
+        #: calls); the cost model is pure in the binding, fixed for the
+        #: life of the stage, so each flag combination is computed once
+        #: (same float-op order as the open-coded form)
         self._memo: dict = {}
         #: cost -> shared immutable Advance (see :meth:`wrapper_advance`)
         self._adv_memo: dict = {}
@@ -47,7 +46,7 @@ class LowerHalfCosting:
         hit = self._memo.get(key)
         if hit is None:
             hit = self._memo[key] = self._cost_and_calls(
-                self.cfg, self.machine, lower_calls, vreq_ops, pt2pt
+                self.binding, lower_calls, vreq_ops, pt2pt
             )
         base, lower_calls = hit
         cost = base + lookup_cost
@@ -63,11 +62,12 @@ class LowerHalfCosting:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _cost_and_calls(cfg, machine, lower_calls, vreq_ops, pt2pt):
+    def _cost_and_calls(binding, lower_calls, vreq_ops, pt2pt):
         """The memo-miss computation: (base cost, effective lower
-        calls), pure in (cfg, machine).  Kept as ONE function so every
+        calls), pure in the binding.  Kept as ONE function so every
         consumer — the charging path and the IR cost folder — resolves
         the identical float-op order."""
+        cfg = binding.cfg
         ov = cfg.overheads
         nominal = ov.ckpt_lock + ov.commit_phase
         if cfg.lambda_frames:
@@ -79,14 +79,13 @@ class LowerHalfCosting:
             lower_calls += (
                 ov.rank_helper_lh_calls if cfg.multi_call_rank_helper else 1
             )
-        base = machine.mana_sw_time(nominal)
-        base += lower_half_call_cost(cfg, machine, lower_calls)
+        base = binding.machine.mana_sw_time(nominal)
+        base += lower_half_call_cost(binding, lower_calls)
         return base, lower_calls
 
     @staticmethod
     def pure_cost(
-        cfg,
-        machine,
+        binding,
         lower_calls: int = 1,
         vreq_ops: int = 0,
         pt2pt: bool = False,
@@ -97,7 +96,7 @@ class LowerHalfCosting:
         telemetry side effects, no trace emission, bit-identical floats
         to what :meth:`wrapper_cost` charges for the same shape."""
         return LowerHalfCosting._cost_and_calls(
-            cfg, machine, lower_calls, vreq_ops, pt2pt
+            binding, lower_calls, vreq_ops, pt2pt
         )[0]
 
     def memo_snapshot(self) -> dict:

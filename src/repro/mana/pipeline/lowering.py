@@ -54,7 +54,7 @@ class SemanticLowering:
         self.api = api
         self.mrank = api.mrank
         self.cfg = api.cfg
-        self.machine = api.machine
+        self.binding = api.binding
         self.gate = gate
         self.virt = virt
         self.cost = cost
@@ -268,15 +268,15 @@ class SemanticLowering:
                 # while a checkpoint is pending, keep polling (never
                 # idle-park): the blocked-checkin budget must be reached
                 # so the coordinator hears from us
-                yield Advance(self.machine.mana_sw_time(ov.wait_poll_gap))
+                yield Advance(self.binding.mana_sw_time(ov.wait_poll_gap))
                 continue
             if polls < self.gate.idle_poll_limit:
-                yield Advance(self.machine.mana_sw_time(ov.wait_poll_gap))
+                yield Advance(self.binding.mana_sw_time(ov.wait_poll_gap))
                 continue
             # idle-park until completion or a checkpoint-intent nudge
             req = self.pending_real_request(slot)
             if req is None or req.done:
-                yield Advance(self.machine.mana_sw_time(ov.wait_poll_gap))
+                yield Advance(self.binding.mana_sw_time(ov.wait_poll_gap))
                 continue
             proc = self.api._task.proc
             req.waiter = proc
@@ -379,7 +379,7 @@ class SemanticLowering:
                     yield from self.gate.blocked("probe")
                     polls = 0
                     continue
-            yield Advance(self.machine.mana_sw_time(
+            yield Advance(self.binding.mana_sw_time(
                 self.cfg.overheads.wait_poll_gap))
 
     def waitany(self, slots: Sequence[RequestSlot]):
@@ -415,11 +415,11 @@ class SemanticLowering:
                     yield from self.gate.blocked("waitany")
                     polls = 0
                     continue
-                yield Advance(self.machine.mana_sw_time(
+                yield Advance(self.binding.mana_sw_time(
                     self.cfg.overheads.wait_poll_gap))
                 continue
             if polls < self.gate.idle_poll_limit:
-                yield Advance(self.machine.mana_sw_time(
+                yield Advance(self.binding.mana_sw_time(
                     self.cfg.overheads.wait_poll_gap))
                 continue
             # idle-park on every still-pending lower-half request
@@ -433,7 +433,7 @@ class SemanticLowering:
                         req.on_complete(lambda _r, p=proc: sched.try_wake(p))
                     reqs.append(req)
             if not reqs:
-                yield Advance(self.machine.mana_sw_time(
+                yield Advance(self.binding.mana_sw_time(
                     self.cfg.overheads.wait_poll_gap))
                 continue
             self.mrank.idle_wait_parked = True

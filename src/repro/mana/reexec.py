@@ -18,6 +18,7 @@ from repro.errors import RestartError
 from repro.mana.buffers import BufferedMessage
 from repro.mana.checkpoint import bb_read_time
 from repro.mana.config import CollectiveMode, CommReconstruction
+from repro.mana.portable import restore_portable
 from repro.mana.replay import RECORDED_OPS, ReplayLog
 from repro.mana.requests import NullMark, VReqKind
 from repro.mana.runtime import ManaRank
@@ -197,12 +198,7 @@ def reexec_transition(api: ManaApi):
         tracer.emit("restart", "image_read", rank=mrank.rank,
                     nbytes=nbytes, mode="reexec")
 
-    mrank.counters.restore(payload["counters"])
-    mrank.drain_buffer.restore(payload["drain_buffer"])
-    mrank.vcomms.restore(payload["vcomms"])
-    mrank.vreqs.restore(payload["vreqs"])
-    mrank.icoll_log.restore(payload["icoll_log"])
-    mrank.blocking_counts = dict(payload["blocking_counts"])
+    restore_portable(mrank, payload)
     mrank.fortran.rebind(rt.fortran_linkage)
 
     # orphaned requests: created by the wrapper call that was in progress

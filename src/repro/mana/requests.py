@@ -27,8 +27,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ManaError
-from repro.hosts.machine import MachineSpec
-from repro.mana.config import ManaConfig
 from repro.mana.vtables import VirtualTable
 from repro.simmpi.constants import Status
 from repro.simmpi.request import RealRequest
@@ -108,9 +106,9 @@ class VReqEntry:
 class VirtualRequestManager:
     """One rank's virtual-request table."""
 
-    def __init__(self, cfg: ManaConfig, machine: MachineSpec):
-        self._cfg = cfg
-        self.table: VirtualTable[VReqEntry] = VirtualTable("vreq", cfg, machine)
+    def __init__(self, binding):
+        self._cfg = binding.cfg
+        self.table: VirtualTable[VReqEntry] = VirtualTable("vreq", binding)
         self.retired = 0
         self.internal_completions = 0
 

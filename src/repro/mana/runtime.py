@@ -25,6 +25,7 @@ from repro.des.scheduler import Scheduler
 from repro.des.syscalls import Advance, Park
 from repro.errors import CheckpointError, RestartError
 from repro.hosts.machine import MachineSpec
+from repro.mana.binding import LowerHalfBinding
 from repro.mana.buffers import DrainBuffer
 from repro.mana.comms import VirtualCommManager
 from repro.mana.config import ManaConfig
@@ -78,11 +79,13 @@ class ManaRank:
     def __init__(self, rt: "ManaRuntime", rank: int):
         self.rt = rt
         self.rank = rank
-        cfg, machine = rt.cfg, rt.machine
+        binding = rt.binding
 
-        # virtualization state (upper half: survives restart)
-        self.vcomms = VirtualCommManager(cfg, machine)
-        self.vreqs = VirtualRequestManager(cfg, machine)
+        # virtualization state (upper half: survives restart; only the
+        # per-lookup *pricing* comes from the binding, and rebinds to a
+        # fresh machine on a cross-machine restore)
+        self.vcomms = VirtualCommManager(binding)
+        self.vreqs = VirtualRequestManager(binding)
         self.icoll_log = IcollLog()
         self.counters = PairwiseCounters(rt.nranks)
         self.drain_buffer = DrainBuffer()
@@ -204,6 +207,12 @@ class ManaRuntime:
         self.machine = machine
         self.cfg = cfg
         self.nranks = nranks
+        #: THE lower-half binding: every machine-derived cost the stack
+        #: prices flows through this one object.  Constructed here — and
+        #: only here — so a session resumed on a different machine
+        #: re-derives costing, fsreg tier, and vtable pricing from the
+        #: *target* MachineSpec instead of the checkpointed one.
+        self.binding = LowerHalfBinding(cfg, machine)
 
         self.incarnation = 0
         self.fortran_linkage = FortranLinkage(self.incarnation)

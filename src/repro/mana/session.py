@@ -390,6 +390,13 @@ class ManaSession:
                 "nranks": self.nranks,
                 "machine": self.machine.name,
                 "cfg_name": self.cfg.name,
+                # machine provenance: where the images were taken (the
+                # bare "machine" key above stays for pre-refactor readers)
+                "provenance": {
+                    **self.machine.provenance(),
+                    "cfg_name": self.cfg.name,
+                    "nranks": self.nranks,
+                },
                 "images": images,
             }
         )
@@ -519,6 +526,8 @@ class RecoveryOrchestrator:
                 base_bytes=res.meta["base_bytes"],
                 compressed=res.meta["compressed"],
                 checksum=stable_hash(res.blob),
+                machine=res.meta.get("machine", ""),
+                kernel=res.meta.get("kernel", ""),
             )
             fresh = ManaRank(rt, old.rank)
             fresh.vcomms.register_world(rt.lib.comm_world)
@@ -579,6 +588,13 @@ def resume_from_checkpoint(
     (the programs must come from this image; the resume validates the
     call counts and refuses a mismatched compilation).
 
+    Restoring on a *different* machine than the image was taken on is
+    supported (the image holds only the portable upper half; the lower
+    half is re-derived from ``machine``): the mismatch emits a
+    :class:`~repro.errors.MigrationWarning` plus a ``restart``-stage
+    trace event, never an error.  Only an image from a machine this
+    build does not know at all is refused with ``ValueError``.
+
     The caller runs it: ``resume_from_checkpoint(...).run()``.
     """
     from repro.util import serde
@@ -589,10 +605,7 @@ def resume_from_checkpoint(
     cfg = cfg.but(record_replay=True)
     if replay_compile is not None:
         cfg = cfg.but(replay_compile=replay_compile)
-    if saved["machine"] != machine.name:
-        raise ValueError(
-            f"image was taken on {saved['machine']!r}, not {machine.name!r}"
-        )
+    prov = _check_migration(saved, machine)
     for img in saved["images"]:
         if img["state"]["replay_log"] is None:
             raise ValueError(
@@ -604,6 +617,112 @@ def resume_from_checkpoint(
         reexec_images=saved["images"],
         trace_sink=trace_sink,
     )
+    if prov is not None and sess.sched.tracer.enabled:
+        sess.sched.tracer.emit(
+            "restart", "cross_machine_restore",
+            source_machine=prov.machine, source_kernel=prov.kernel,
+            target_machine=machine.name, target_kernel=machine.linux_kernel,
+            target_fs_tier=sess.rt.binding.fs_tier.value,
+        )
     if compiled is not None:
         sess.rt._ir_compiled = compiled
+    return sess
+
+
+def _check_migration(saved: dict, machine: MachineSpec):
+    """Validate the saved job's source machine against the restore target.
+
+    Returns the source :class:`~repro.mana.portable.MachineProvenance`
+    when this is a cross-machine restore (after warning), ``None`` for a
+    same-machine restore.  An image from a machine this build does not
+    recognize raises ``ValueError`` — nothing can be re-derived for it.
+    """
+    import warnings
+
+    from repro.errors import MigrationWarning
+    from repro.hosts.presets import machine_by_name
+    from repro.mana.portable import MachineProvenance
+
+    prov = MachineProvenance.from_saved(saved)
+    if prov.machine == machine.name:
+        return None
+    try:
+        source = machine_by_name(prov.machine)
+    except KeyError:
+        raise ValueError(
+            f"image was taken on unknown machine {prov.machine!r}; "
+            f"cannot re-derive a lower half for it"
+        ) from None
+    warnings.warn(
+        MigrationWarning(
+            f"restoring an image taken on {prov.machine!r} (kernel "
+            f"{prov.kernel or source.linux_kernel}) onto {machine.name!r} "
+            f"(kernel {machine.linux_kernel}); the lower half — costs, "
+            f"FS-register tier, network and burst-buffer models — is "
+            f"re-derived from {machine.name!r}"
+        ),
+        stacklevel=3,
+    )
+    return prov
+
+
+def resume_elastic(
+    path,
+    program_factory: ProgramFactory,
+    machine: MachineSpec,
+    nranks: int,
+    cfg: Optional[ManaConfig] = None,
+    trace_sink: Optional[Any] = None,
+) -> "ManaSession":
+    """Restart a saved job onto a *different rank count*.
+
+    Elastic restart is an app-level cold restart, not a REEXEC replay:
+    the per-rank ``app_state`` sections of the portable images are
+    re-decomposed across ``nranks`` via the program class's
+    ``redecompose`` hook (block re-decomposition), and a fresh session is
+    built whose ranks start from the re-decomposed state.  Protocol
+    state — replay logs, drain buffers, counters — describes the *old*
+    world's pairwise traffic and is deliberately dropped; the two-phase
+    commit's collective-horizon equalization guarantees every image sits
+    at the same iteration boundary, which ``redecompose`` asserts.
+
+    Communicator re-splitting is deterministic: the new world's
+    ``comm_split`` calls re-derive subcommunicators from the new ranks,
+    so two elastic restarts of the same image are bit-identical.
+    """
+    from repro.util import serde
+
+    with open(path, "rb") as fh:
+        saved = serde.loads(fh.read())
+    prov = _check_migration(saved, machine)
+    cfg = cfg if cfg is not None else ManaConfig.feature_2pc()
+    old_states = [img["state"]["app_state"] for img in saved["images"]]
+    if any(s is None for s in old_states):
+        raise ValueError(
+            f"{path}: images carry no application state; nothing to "
+            "re-decompose"
+        )
+    cls = type(program_factory(0))
+    new_states = cls.redecompose(old_states, nranks)
+    if len(new_states) != nranks:
+        raise ValueError(
+            f"{cls.__name__}.redecompose returned {len(new_states)} states "
+            f"for {nranks} ranks"
+        )
+
+    def elastic_factory(rank: int):
+        prog = program_factory(rank)
+        prog.restore_state(new_states[rank])
+        return prog
+
+    sess = ManaSession(nranks, elastic_factory, machine, cfg,
+                       trace_sink=trace_sink)
+    if sess.sched.tracer.enabled:
+        sess.sched.tracer.emit(
+            "restart", "elastic_restore",
+            source_ranks=saved["nranks"], target_ranks=nranks,
+            source_machine=(prov.machine if prov is not None
+                            else machine.name),
+            target_machine=machine.name,
+        )
     return sess

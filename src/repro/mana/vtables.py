@@ -18,25 +18,29 @@ import math
 from typing import Any, Dict, Generic, Iterator, Optional, Tuple, TypeVar
 
 from repro.errors import ManaError
-from repro.hosts.machine import MachineSpec
-from repro.mana.config import ManaConfig, VtableBackend
+from repro.mana.config import VtableBackend
 
 V = TypeVar("V")
 
 
 class VirtualTable(Generic[V]):
-    """One virtual-ID space (communicators, requests, groups, ...)."""
+    """One virtual-ID space (communicators, requests, groups, ...).
+
+    The table itself — the virtual-to-real mapping — is portable
+    upper-half state; only the per-lookup *pricing* is machine-derived,
+    so it flows through the injected
+    :class:`~repro.mana.binding.LowerHalfBinding` and is re-derived on
+    the target machine after a cross-machine restore.
+    """
 
     def __init__(
         self,
         name: str,
-        cfg: ManaConfig,
-        machine: MachineSpec,
+        binding,
         first_id: int = 1,
     ):
         self.name = name
-        self._cfg = cfg
-        self._machine = machine
+        self._binding = binding
         self._table: Dict[int, V] = {}
         self._next_id = first_id
         #: lookup/insert/delete counters and accumulated modeled cost
@@ -46,9 +50,9 @@ class VirtualTable(Generic[V]):
         self.peak_size = 0
         # the cost model is pure in (backend, table size): HASH is one
         # constant; MAP is memoized per table size (same float-op order)
-        if cfg.vtable is VtableBackend.HASH:
-            self._hash_cost: Optional[float] = machine.mana_sw_time(
-                cfg.overheads.hash_lookup
+        if binding.cfg.vtable is VtableBackend.HASH:
+            self._hash_cost: Optional[float] = binding.mana_sw_time(
+                binding.cfg.overheads.hash_lookup
             )
         else:
             self._hash_cost = None
@@ -63,8 +67,8 @@ class VirtualTable(Generic[V]):
         c = self._map_cost_memo.get(n)
         if c is None:
             levels = max(1.0, math.log2(max(2, n)))
-            nominal = self._cfg.overheads.map_lookup_per_level * levels
-            c = self._machine.mana_sw_time(nominal)
+            nominal = self._binding.cfg.overheads.map_lookup_per_level * levels
+            c = self._binding.mana_sw_time(nominal)
             self._map_cost_memo[n] = c
         return c
 

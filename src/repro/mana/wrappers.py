@@ -71,7 +71,9 @@ class ManaApi:
         self.mrank = mrank
         self.rt = mrank.rt
         self.cfg: ManaConfig = mrank.rt.cfg
-        self.machine = mrank.rt.machine
+        #: the session's lower-half binding — the only machine the
+        #: wrappers ever price against (rebuilt per restart target)
+        self.binding = mrank.rt.binding
         self.COMM_WORLD = mrank.vcomms.world_vid
         self.replay_log = None  # REEXEC recording, attached by the session
         self._call_seq = 0      # public wrapper-call counter (REEXEC)
@@ -118,7 +120,7 @@ class ManaApi:
 
     def compute(self, seconds: Optional[float] = None, flops: Optional[float] = None):
         if flops is not None:
-            seconds = self.machine.compute_time(flops)
+            seconds = self.binding.compute_time(flops)
         if seconds is None:
             raise ValueError("compute() needs seconds or flops")
         yield Advance(seconds)

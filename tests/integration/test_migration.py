@@ -1,0 +1,227 @@
+"""Integration: cross-machine and elastic restart.
+
+The checkpoint image holds only the *portable upper half* (replay log,
+protocol state, handles, app state); the lower-half binding — costs,
+FS-register tier, network and burst-buffer models — is re-derived from
+the restore target's :class:`MachineSpec`.  These tests pin the three
+restore modes: same-machine (bit-identical, silent), cross-machine
+(identical results, MigrationWarning, target-machine costs), and
+elastic (different rank count via app-level re-decomposition).
+"""
+
+import warnings
+
+import pytest
+
+from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.apps.micro import AllreduceLoop, ElasticBlockSum, RandomPt2Pt
+from repro.errors import MigrationWarning, RestartError
+from repro.hosts import CORI_HASWELL, PERLMUTTER, TESTBOX, TESTBOX_MN
+from repro.mana import ManaConfig, ManaSession
+from repro.mana.session import (
+    HALTED,
+    CheckpointPlan,
+    resume_elastic,
+    resume_from_checkpoint,
+)
+
+CFG = ManaConfig.feature_2pc().but(record_replay=True)
+
+
+def halt_and_save(tmp_path, nranks, factory, frac, machine=TESTBOX,
+                  cfg=CFG, name="ckpt.img"):
+    """Run to completion for reference, then halt a fresh run at ``frac``
+    of the runtime and save its image."""
+    baseline = ManaSession(nranks, factory, machine, cfg).run()
+    halted = ManaSession(nranks, factory, machine, cfg)
+    out = halted.run(
+        checkpoints=[CheckpointPlan(at=baseline.elapsed * frac,
+                                    action="halt")]
+    )
+    assert out.results == [HALTED] * nranks
+    path = tmp_path / name
+    halted.save_checkpoint(path)
+    return baseline, path
+
+
+class TestCrossMachineRestore:
+    def test_same_machine_is_silent_and_deterministic(self, tmp_path):
+        factory = lambda r: AllreduceLoop(r, iters=8, compute_s=1e-3)
+        baseline, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MigrationWarning)
+            first = resume_from_checkpoint(path, factory, TESTBOX, CFG).run()
+            second = resume_from_checkpoint(path, factory, TESTBOX, CFG).run()
+        assert first.results == baseline.results
+        # bit-identical: the binding path changes nothing on the source
+        # machine (same costs, same float-op order, same event order)
+        assert first.results == second.results
+        assert first.elapsed == second.elapsed
+
+    @pytest.mark.parametrize("target", [PERLMUTTER, TESTBOX_MN],
+                             ids=lambda m: m.name)
+    def test_cross_machine_preserves_results(self, tmp_path, target):
+        """A cori-haswell image restores on a different machine: results
+        and protocol counters survive, elapsed reflects target costs."""
+        factory = lambda r: AllreduceLoop(r, iters=8, compute_s=1e-3)
+        baseline, path = halt_and_save(tmp_path, 4, factory, 0.5,
+                                       machine=CORI_HASWELL)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MigrationWarning)
+            same = resume_from_checkpoint(
+                path, factory, CORI_HASWELL, CFG).run()
+        with pytest.warns(MigrationWarning, match="haswell"):
+            moved = resume_from_checkpoint(path, factory, target, CFG).run()
+        # the application cannot tell it moved
+        assert moved.results == baseline.results
+        assert moved.results == same.results
+        # the protocol replayed the same communication structure
+        assert moved.total_collective_calls == same.total_collective_calls
+        assert moved.total_pt2pt_calls == same.total_pt2pt_calls
+        # ... but time now comes from the target machine's lower half
+        assert moved.elapsed != same.elapsed
+
+    def test_cross_machine_emits_trace_event(self, tmp_path):
+        from repro.util.trace import RingBufferSink
+
+        factory = lambda r: AllreduceLoop(r, iters=6, compute_s=1e-3)
+        _, path = halt_and_save(tmp_path, 4, factory, 0.5,
+                                machine=CORI_HASWELL)
+        sink = RingBufferSink()
+        with pytest.warns(MigrationWarning):
+            sess = resume_from_checkpoint(
+                path, factory, PERLMUTTER, CFG, trace_sink=sink)
+        crossings = [e for e in sink.events
+                     if e.kind == "cross_machine_restore"]
+        assert len(crossings) == 1
+        ev = crossings[0].detail
+        assert ev["source_machine"] == "haswell"
+        assert ev["target_machine"] == "perlmutter"
+        assert ev["target_fs_tier"]  # the re-derived lower half's tier
+        sess.run()
+
+    def test_unknown_source_machine_rejected(self, tmp_path):
+        from repro.util import serde
+
+        factory = lambda r: AllreduceLoop(r, iters=6, compute_s=1e-3)
+        _, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        saved = serde.loads(path.read_bytes())
+        saved["machine"] = "retired-cluster"
+        saved["provenance"]["machine"] = "retired-cluster"
+        path.write_bytes(serde.dumps(saved))
+        with pytest.raises(ValueError, match="unknown machine"):
+            resume_from_checkpoint(path, factory, TESTBOX, CFG)
+
+    def test_image_header_carries_provenance(self, tmp_path):
+        """Every per-rank frame stamps where it was taken."""
+        from repro.mana.checkpoint import CheckpointImage
+
+        factory = lambda r: AllreduceLoop(r, iters=6, compute_s=1e-3)
+        baseline = ManaSession(4, factory, CORI_HASWELL, CFG).run()
+        halted = ManaSession(4, factory, CORI_HASWELL, CFG)
+        halted.run(checkpoints=[
+            CheckpointPlan(at=baseline.elapsed * 0.5, action="halt")
+        ])
+        for mrank in halted.rt.ranks:
+            img = mrank.last_image
+            assert img.machine == "haswell"
+            assert img.kernel == CORI_HASWELL.linux_kernel
+            back = CheckpointImage.from_bytes(img.to_bytes())
+            assert (back.machine, back.kernel) == (img.machine, img.kernel)
+
+
+class TestElasticRestart:
+    @pytest.mark.parametrize("new_nranks", [2, 3, 6])
+    def test_blocksum_invariant_across_worlds(self, tmp_path, new_nranks):
+        factory = lambda r: ElasticBlockSum(r, 4, iters=6)
+        baseline, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        want = ElasticBlockSum.expected(64, 6)
+        assert baseline.results == [want] * 4
+        new_factory = lambda r: ElasticBlockSum(r, new_nranks, iters=6)
+        out = resume_elastic(path, new_factory, TESTBOX,
+                             nranks=new_nranks).run()
+        assert out.results == [want] * new_nranks
+
+    def test_elastic_resplit_is_deterministic(self, tmp_path):
+        """Two elastic restarts of one image are bit-identical — the new
+        world's comm_splits re-derive the same subcommunicators."""
+        factory = lambda r: ElasticBlockSum(r, 4, iters=6)
+        _, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        new_factory = lambda r: ElasticBlockSum(r, 6, iters=6)
+        first = resume_elastic(path, new_factory, TESTBOX, nranks=6).run()
+        second = resume_elastic(path, new_factory, TESTBOX, nranks=6).run()
+        assert first.results == second.results
+        assert first.elapsed == second.elapsed
+        assert first.total_collective_calls == second.total_collective_calls
+
+    def test_elastic_emits_trace_event(self, tmp_path):
+        from repro.util.trace import RingBufferSink
+
+        factory = lambda r: ElasticBlockSum(r, 4, iters=6)
+        _, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        new_factory = lambda r: ElasticBlockSum(r, 2, iters=6)
+        sink = RingBufferSink()
+        sess = resume_elastic(path, new_factory, TESTBOX, nranks=2,
+                              trace_sink=sink)
+        restores = [e for e in sink.events if e.kind == "elastic_restore"]
+        assert len(restores) == 1
+        assert restores[0].detail["source_ranks"] == 4
+        assert restores[0].detail["target_ranks"] == 2
+        sess.run()
+
+    def test_elastic_onto_new_machine(self, tmp_path):
+        """Migration and re-decomposition compose: warn + re-split."""
+        factory = lambda r: ElasticBlockSum(r, 4, iters=6)
+        _, path = halt_and_save(tmp_path, 4, factory, 0.5,
+                                machine=CORI_HASWELL)
+        new_factory = lambda r: ElasticBlockSum(r, 3, iters=6)
+        with pytest.warns(MigrationWarning, match="haswell"):
+            out = resume_elastic(path, new_factory, PERLMUTTER,
+                                 nranks=3).run()
+        assert out.results == [ElasticBlockSum.expected(64, 6)] * 3
+
+    def test_unsupported_program_refuses(self, tmp_path):
+        factory = lambda r: AllreduceLoop(r, iters=8, compute_s=1e-3)
+        _, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        with pytest.raises(RestartError, match="elastic restart"):
+            resume_elastic(path, factory, TESTBOX, nranks=2)
+
+    def test_md_proxy_elastic_determinism(self, tmp_path):
+        """The MD proxy re-splits its particle blocks; two elastic
+        restarts agree exactly and every rank sees one energy trace."""
+        md4 = MdConfig(nranks=4, steps=8, reduce_every=2)
+        factory = lambda r: MdProxy(r, md4, TESTBOX)
+        baseline, path = halt_and_save(tmp_path, 4, factory, 0.5)
+        md2 = MdConfig(nranks=2, steps=8, reduce_every=2)
+        new_factory = lambda r: MdProxy(r, md2, TESTBOX)
+        first = resume_elastic(path, new_factory, TESTBOX, nranks=2).run()
+        second = resume_elastic(path, new_factory, TESTBOX, nranks=2).run()
+        assert first.results == second.results
+        assert len(first.results) == 2
+        traces = {r[1] for r in first.results}
+        assert len(traces) == 1  # the energy allreduce agrees world-wide
+
+
+class TestElasticDrainCheck:
+    def test_flags_receives_from_vanished_ranks(self, tmp_path):
+        from repro.mana.ir_bridge import job_drain_report, programs_from_image
+
+        # cut late: RandomPt2Pt sends eagerly and receives at the end,
+        # so receives (with resolved Status sources) only appear in the
+        # log once the cut lands in the receive phase
+        factory = lambda r: RandomPt2Pt(r, 5, rounds=8, seed=3,
+                                        compute_s=1e-4)
+        _, path = halt_and_save(tmp_path, 5, factory, 0.9)
+        _meta, programs = programs_from_image(path)
+        # shrinking to 3 ranks: receives resolved from ranks 3/4 can
+        # never rematch in the new world
+        shrunk = job_drain_report(programs, elastic_world=3)
+        assert shrunk["unmatchable_recvs"] > 0
+        assert all("unmatchable_recvs" in pr
+                   for pr in shrunk["per_rank"].values())
+        # the old world itself is clean by construction
+        same = job_drain_report(programs, elastic_world=5)
+        assert same["unmatchable_recvs"] == 0
+        # without the elastic question, the report shape is unchanged
+        plain = job_drain_report(programs)
+        assert "unmatchable_recvs" not in plain

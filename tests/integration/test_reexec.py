@@ -107,7 +107,10 @@ class TestReexec:
         with pytest.raises(ValueError, match="replay log"):
             resume_from_checkpoint(path, factory, TESTBOX, plain)
 
-    def test_machine_mismatch_rejected(self, tmp_path):
+    def test_machine_mismatch_warns_and_resumes(self, tmp_path):
+        """Cross-machine restore is supported: the portable upper half
+        rebinds against the target machine (with a MigrationWarning)."""
+        from repro.errors import MigrationWarning
         from repro.hosts import CORI_HASWELL
 
         factory = lambda r: TokenRing(r, laps=6, compute_s=1e-3)
@@ -118,5 +121,6 @@ class TestReexec:
         ])
         path = tmp_path / "t.img"
         halted.save_checkpoint(path)
-        with pytest.raises(ValueError, match="image was taken on"):
-            resume_from_checkpoint(path, factory, CORI_HASWELL, CFG)
+        with pytest.warns(MigrationWarning, match="testbox"):
+            migrated = resume_from_checkpoint(path, factory, CORI_HASWELL, CFG)
+        assert migrated.run().results == baseline.results

@@ -355,14 +355,15 @@ def test_live_cost_matches_charging_path():
     pipeline charges for the same call shape (same memo-miss code)."""
     from repro.hosts import TESTBOX
     from repro.mana import ManaConfig
+    from repro.mana.binding import LowerHalfBinding
     from repro.mana.ir_bridge import _VREQ_OPS_ESTIMATE, live_cost_fn
     from repro.mana.pipeline.costing import LowerHalfCosting
 
-    cfg = ManaConfig.feature_2pc()
-    fn = live_cost_fn(cfg, TESTBOX)
+    binding = LowerHalfBinding(ManaConfig.feature_2pc(), TESTBOX)
+    fn = live_cost_fn(binding)
     for opname in ("send", "isend", "waitall", "barrier", "allreduce"):
         expected = LowerHalfCosting.pure_cost(
-            cfg, TESTBOX, lower_calls=1,
+            binding, lower_calls=1,
             vreq_ops=_VREQ_OPS_ESTIMATE.get(opname, 0),
             pt2pt=opname in ("send", "isend"),
         )

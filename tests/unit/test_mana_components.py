@@ -13,6 +13,7 @@ from repro.mana.fortran import (
     FortranConstantResolver,
     FortranLinkage,
 )
+from repro.mana.binding import LowerHalfBinding
 from repro.mana.fsreg import fs_switch_cost, lower_half_call_cost, resolve_fs_tier
 from repro.mana.gid import comm_gid, comm_gid_from_world_ranks
 from repro.mana.requests import NullMark, VirtualRequestManager, VReqKind
@@ -27,7 +28,7 @@ CFG = ManaConfig.feature_2pc()
 
 class TestVirtualTable:
     def test_create_lookup_delete(self):
-        t = VirtualTable("t", CFG, TESTBOX)
+        t = VirtualTable("t", LowerHalfBinding(CFG, TESTBOX))
         vid, c1 = t.create("real-A")
         real, c2 = t.lookup(vid)
         assert real == "real-A"
@@ -36,12 +37,12 @@ class TestVirtualTable:
         assert vid not in t
 
     def test_lookup_unmapped_raises(self):
-        t = VirtualTable("t", CFG, TESTBOX)
+        t = VirtualTable("t", LowerHalfBinding(CFG, TESTBOX))
         with pytest.raises(ManaError, match="not mapped"):
             t.lookup(99)
 
     def test_rebind_requires_existing(self):
-        t = VirtualTable("t", CFG, TESTBOX)
+        t = VirtualTable("t", LowerHalfBinding(CFG, TESTBOX))
         vid, _ = t.create("old")
         t.rebind(vid, "new")
         assert t.lookup(vid)[0] == "new"
@@ -49,7 +50,7 @@ class TestVirtualTable:
             t.rebind(12345, "x")
 
     def test_vids_never_reused(self):
-        t = VirtualTable("t", CFG, TESTBOX)
+        t = VirtualTable("t", LowerHalfBinding(CFG, TESTBOX))
         vid1, _ = t.create("a")
         t.delete(vid1)
         vid2, _ = t.create("b")
@@ -58,21 +59,21 @@ class TestVirtualTable:
     def test_map_cost_grows_with_size_hash_does_not(self):
         map_cfg = CFG.but(vtable=VtableBackend.ORDERED_MAP)
         hash_cfg = CFG.but(vtable=VtableBackend.HASH)
-        tm = VirtualTable("m", map_cfg, TESTBOX)
-        th = VirtualTable("h", hash_cfg, TESTBOX)
+        tm = VirtualTable("m", LowerHalfBinding(map_cfg, TESTBOX))
+        th = VirtualTable("h", LowerHalfBinding(hash_cfg, TESTBOX))
         for _ in range(1024):
             tm.create("x")
             th.create("x")
         _, map_cost = tm.lookup(1)
         _, hash_cost = th.lookup(1)
         assert map_cost > hash_cost
-        tm_small = VirtualTable("m2", map_cfg, TESTBOX)
+        tm_small = VirtualTable("m2", LowerHalfBinding(map_cfg, TESTBOX))
         tm_small.create("x")
         _, small_cost = tm_small.lookup(1)
         assert map_cost > small_cost
 
     def test_peak_size_tracked(self):
-        t = VirtualTable("t", CFG, TESTBOX)
+        t = VirtualTable("t", LowerHalfBinding(CFG, TESTBOX))
         vids = [t.create("x")[0] for _ in range(5)]
         for v in vids:
             t.delete(v)
@@ -161,7 +162,7 @@ class TestDrainBuffer:
 class TestVirtualRequestManager:
     def test_two_step_retirement(self):
         """The Section III-A algorithm, step by step."""
-        mgr = VirtualRequestManager(CFG, TESTBOX)
+        mgr = VirtualRequestManager(LowerHalfBinding(CFG, TESTBOX))
         real = RealRequest(RequestKind.RECV, 2, 0, 1)
         entry, _ = mgr.create(VReqKind.IRECV, comm_vid=1, real=real,
                               peer=0, tag=1)
@@ -176,21 +177,21 @@ class TestVirtualRequestManager:
         assert entry.vid not in mgr.table
 
     def test_double_internal_completion_rejected(self):
-        mgr = VirtualRequestManager(CFG, TESTBOX)
+        mgr = VirtualRequestManager(LowerHalfBinding(CFG, TESTBOX))
         entry, _ = mgr.create(VReqKind.IRECV, 1, None)
         mgr.complete_internally(entry, "x", None)
         with pytest.raises(ManaError, match="twice"):
             mgr.complete_internally(entry, "y", None)
 
     def test_no_gc_keeps_entries(self):
-        mgr = VirtualRequestManager(CFG.but(request_gc=False), TESTBOX)
+        mgr = VirtualRequestManager(LowerHalfBinding(CFG.but(request_gc=False), TESTBOX))
         entry, _ = mgr.create(VReqKind.ISEND, 1, None)
         mgr.retire(entry)
         assert entry.vid in mgr.table  # the growth pathology
         assert entry.consumed
 
     def test_pending_irecvs_filter(self):
-        mgr = VirtualRequestManager(CFG, TESTBOX)
+        mgr = VirtualRequestManager(LowerHalfBinding(CFG, TESTBOX))
         live = RealRequest(RequestKind.RECV, 2, 0, 1)
         e1, _ = mgr.create(VReqKind.IRECV, 1, real=live)
         e2, _ = mgr.create(VReqKind.IRECV, 1, real=None)
@@ -200,13 +201,13 @@ class TestVirtualRequestManager:
         assert pending == [e1]
 
     def test_snapshot_restore(self):
-        mgr = VirtualRequestManager(CFG, TESTBOX)
+        mgr = VirtualRequestManager(LowerHalfBinding(CFG, TESTBOX))
         live = RealRequest(RequestKind.RECV, 2, 3, 7)
         e1, _ = mgr.create(VReqKind.IRECV, 1, real=live, peer=3, tag=7)
         e2, _ = mgr.create(VReqKind.ICOLL, 1, real=live, icoll_index=0)
         mgr.complete_internally(e2, "payload", None)
         snap = mgr.snapshot()
-        mgr2 = VirtualRequestManager(CFG, TESTBOX)
+        mgr2 = VirtualRequestManager(LowerHalfBinding(CFG, TESTBOX))
         mgr2.restore(snap)
         r1, _ = mgr2.lookup(e1.vid)
         r2, _ = mgr2.lookup(e2.vid)
@@ -286,7 +287,7 @@ class TestFsRegister:
     def test_tier_ordering(self):
         base = ManaConfig.feature_2pc()
         costs = [
-            fs_switch_cost(base.but(fs_tier=t), CORI_HASWELL)
+            fs_switch_cost(LowerHalfBinding(base.but(fs_tier=t), CORI_HASWELL))
             for t in (FsTier.SYSCALL, FsTier.WORKAROUND, FsTier.FSGSBASE)
         ]
         assert costs[0] > costs[1] > costs[2]
@@ -294,16 +295,27 @@ class TestFsRegister:
     def test_knl_switch_costs_more_than_haswell(self):
         cfg = ManaConfig.master()
         # KNL's slow cores dominate Haswell's contention factor
-        assert fs_switch_cost(cfg, CORI_KNL) > fs_switch_cost(cfg, CORI_HASWELL)
+        assert fs_switch_cost(LowerHalfBinding(cfg, CORI_KNL)) > fs_switch_cost(
+            LowerHalfBinding(cfg, CORI_HASWELL)
+        )
 
     def test_lower_half_call_is_two_switches(self):
+        b = LowerHalfBinding(ManaConfig.feature_2pc(), TESTBOX)
+        assert lower_half_call_cost(b, 1) == pytest.approx(2 * fs_switch_cost(b))
+        assert lower_half_call_cost(b, 3) == pytest.approx(6 * fs_switch_cost(b))
+
+    def test_binding_resolves_tier_once(self):
+        cfg = ManaConfig.feature_2pc().but(fs_tier=FsTier.AUTO)
+        assert LowerHalfBinding(cfg, CORI_HASWELL).fs_tier is FsTier.SYSCALL
+        assert LowerHalfBinding(cfg, TESTBOX).fs_tier is FsTier.FSGSBASE
+
+    def test_binding_describe_names_the_machine(self):
         cfg = ManaConfig.feature_2pc()
-        assert lower_half_call_cost(cfg, TESTBOX, 1) == pytest.approx(
-            2 * fs_switch_cost(cfg, TESTBOX)
-        )
-        assert lower_half_call_cost(cfg, TESTBOX, 3) == pytest.approx(
-            6 * fs_switch_cost(cfg, TESTBOX)
-        )
+        b = LowerHalfBinding(cfg, CORI_HASWELL)
+        d = b.describe()
+        assert d["machine"] == CORI_HASWELL.name
+        assert d["kernel"] == CORI_HASWELL.linux_kernel
+        assert d["fs_tier"] == resolve_fs_tier(cfg, CORI_HASWELL).value
 
 
 class TestConfigPresets:

@@ -152,10 +152,12 @@ class TestCheckpointImage:
         assert image.base_bytes == TESTBOX.base_image_bytes
 
     def test_bb_times_scale_with_size(self):
+        from repro.mana.binding import LowerHalfBinding
         from repro.mana.checkpoint import bb_read_time, bb_write_time
+        from repro.mana.config import ManaConfig
 
         class FakeRt:
-            machine = CORI_HASWELL
+            binding = LowerHalfBinding(ManaConfig.feature_2pc(), CORI_HASWELL)
             nranks = 64
 
         class FakeRank:

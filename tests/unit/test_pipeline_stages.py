@@ -117,7 +117,7 @@ class TestLowerHalfCosting:
                    + ov.vreq_bookkeeping * 2 + ov.counter_update)
         lower = 1 + ov.rank_helper_lh_calls
         want = (CORI_HASWELL.mana_sw_time(nominal)
-                + lower_half_call_cost(cfg, CORI_HASWELL, lower)
+                + lower_half_call_cost(mrank.rt.binding, lower)
                 + 0.5e-6)
         assert got == want
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Layering lint: façades stay façades, mechanism stays below policy.
 
-Five rules, all enforced by walking module ASTs:
+Six rules, all enforced by walking module ASTs:
 
 1. ``src/repro/mana/wrappers.py`` routes every MPI entry point through
    the interposition pipeline (``repro/mana/pipeline/``).  Costing and
@@ -45,6 +45,15 @@ Five rules, all enforced by walking module ASTs:
    ``repro.mana.ir_bridge``; a direct import would entangle the
    compiler with the runtime it exists to replay.
 
+6. ``repro/mana/portable.py`` defines the *portable upper half* — the
+   machine-independent slice of a checkpoint image that migrates across
+   clusters.  It must import nothing from ``repro.hosts`` or
+   ``repro.simnet`` (machine specs, network models): anything
+   machine-derived belongs in the :class:`LowerHalfBinding`, which is
+   re-derived from the target machine at restore time.  A hosts import
+   here would smuggle lower-half state into the portable image and
+   quietly break cross-machine restart.
+
 Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
 """
 
@@ -77,6 +86,11 @@ DES_FORBIDDEN = ("repro.mana", "repro.simmpi", "repro.simnet")
 #: the pure IR layer and the only repro packages it may touch
 IR_DIR = "repro/ir"
 IR_ALLOWED = ("repro.util", "repro.errors", "repro.ir")
+
+#: the portable upper half and the machine-dependent layers it must
+#: never reach (lower-half state is rebuilt from the target machine)
+PORTABLE = SRC / "repro" / "mana" / "portable.py"
+PORTABLE_FORBIDDEN = ("repro.hosts", "repro.simnet")
 
 
 def _imports(path: Path) -> List[Tuple[int, str, str]]:
@@ -187,9 +201,20 @@ def ir_violations() -> List[str]:
     return bad
 
 
+def portable_violations() -> List[str]:
+    """Rule 6: the portable upper half carries no machine knowledge."""
+    rel = PORTABLE.relative_to(REPO)
+    return [
+        f"{rel}:{lineno}: portable upper half imports a machine-dependent "
+        f"layer (lower-half state belongs in LowerHalfBinding): {desc}"
+        for lineno, mod, desc in _imports(PORTABLE)
+        if any(_hits(mod, f) for f in PORTABLE_FORBIDDEN)
+    ]
+
+
 def main() -> int:
     bad = (wrapper_violations() + faults_violations() + storage_violations()
-           + des_violations() + ir_violations())
+           + des_violations() + ir_violations() + portable_violations())
     if bad:
         for line in bad:
             print(line, file=sys.stderr)
@@ -201,7 +226,8 @@ def main() -> int:
             "repro.mana or repro.faults); repro.des imports nothing from "
             "repro.mana/repro.simmpi/repro.simnet; repro.ir imports only "
             "repro.util/repro.errors (runtime access goes through "
-            "repro.mana.ir_bridge)",
+            "repro.mana.ir_bridge); repro/mana/portable.py imports "
+            "nothing from repro.hosts or repro.simnet",
             file=sys.stderr,
         )
         return 1
@@ -209,7 +235,8 @@ def main() -> int:
           "des/simnet do not import repro.faults; repro.storage stays "
           "below repro.mana and repro.faults; repro.des imports none of "
           "repro.mana/repro.simmpi/repro.simnet; repro.ir imports only "
-          "repro.util/repro.errors")
+          "repro.util/repro.errors; the portable upper half imports "
+          "neither repro.hosts nor repro.simnet")
     return 0
 
 
