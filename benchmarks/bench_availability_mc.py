@@ -1,0 +1,218 @@
+"""Monte-Carlo availability: the work-lost distribution vs MTBF × interval.
+
+The paper's checkpointing argument (and Garg et al.'s optimal-interval
+analysis) is statistical: how much work does a failure cost *in
+expectation and in the tail*, as a function of how often the machine
+fails (MTBF) and how often the job checkpoints?  A one-seed bench
+cannot answer that; this one runs a fleet.
+
+Each cell is one seeded trial: a token-ring job under
+``ManaConfig.fault_tolerant()`` checkpointing every ``interval_frac ×
+T`` virtual seconds (T = fault-free runtime), with a failure time drawn
+from an exponential distribution of mean ``mtbf_frac × T`` and a
+uniform victim rank.  Trials report ``recovered`` (rollback-restart
+from the last durable epoch, losing ``work_lost``), ``censored`` (the
+drawn failure lands after the job finished — nothing lost), or ``lost``
+(the failure precedes the first durable checkpoint; the whole run to
+that point is forfeit).  The default grid is 4 MTBFs × 3 intervals × 20
+seeds = 240 cells (``REPRO_BENCH_SCALE=full``: 50 seeds, 600 cells),
+fanned across all cores by ``repro.campaign`` with crash-isolated
+workers and a resumable journal — re-runs are cache hits.
+
+Expected shape: mean and p95 work lost grow as checkpoints get rarer
+(larger interval) and as failures get more frequent (smaller MTBF);
+with a generous MTBF most trials are censored.
+
+``--smoke`` runs a reduced grid on 2 workers with two deliberately
+crashing cells injected, and asserts the campaign itself survives them
+with every availability cell finishing ok — the orchestration-layer
+fault-tolerance story, demonstrated by the same subsystem that
+measures the simulated one.
+"""
+
+import shutil
+
+from repro.bench import BenchScale, current_scale, save_result, write_bench_json
+from repro.campaign import (
+    CampaignStore,
+    aggregate_store,
+    run_campaign,
+    spec_availability_mc,
+)
+from repro.util.tables import AsciiTable
+
+#: default campaign directory (journal + manifest; safe to delete)
+DEFAULT_DIR = ".campaigns/availability_mc"
+
+
+def build_spec(smoke: bool = False, seeds=None):
+    if smoke:
+        return spec_availability_mc(
+            seeds=seeds or 3, mtbf_fracs=(1.0, 4.0),
+            interval_fracs=(0.25,), crash_cells=2,
+        )
+    if seeds is None:
+        seeds = 50 if current_scale() is BenchScale.FULL else 20
+    return spec_availability_mc(seeds=seeds)
+
+
+def prepare_dir(spec, root) -> CampaignStore:
+    """Reuse the campaign directory when it matches this spec (resumed
+    runs are cache hits); wipe it when the grid changed."""
+    store = CampaignStore(root)
+    if store.exists():
+        try:
+            store.check_spec(spec)
+        except Exception:
+            shutil.rmtree(store.root)
+    return store
+
+
+def sweep(smoke: bool = False, workers=None, root=DEFAULT_DIR,
+          progress=None) -> dict:
+    spec = build_spec(smoke=smoke)
+    store = prepare_dir(spec, root)
+    run = run_campaign(spec, store.root, workers=workers,
+                       on_existing="resume", progress=progress)
+    summary = aggregate_store(store)
+    summary["campaign_dir"] = str(store.root)
+    summary["run"] = {"total": run.total, "ran": run.ran,
+                      "skipped": run.skipped, "retries": run.retries,
+                      "counts": run.counts}
+    return summary
+
+
+def render(summary: dict) -> str:
+    t = AsciiTable(
+        ["MTBF (×T)", "interval (×T)", "cells", "recovered", "censored",
+         "lost", "work lost mean (s)", "p50", "p95"],
+        title=(
+            "Monte-Carlo availability — work-lost distribution vs MTBF "
+            f"× checkpoint interval ({summary['cells_total']} cells)"
+        ),
+    )
+    for g in summary["groups"]:
+        outcomes = g["categories"].get("outcome", {})
+        wl = g["metrics"].get("work_lost")
+        t.add_row([
+            g["key"]["mtbf_frac"],
+            g["key"]["interval_frac"],
+            g["cells"],
+            outcomes.get("recovered", 0),
+            outcomes.get("censored", 0),
+            outcomes.get("lost", 0),
+            f"{wl['mean']:.4f}" if wl else "-",
+            f"{wl['p50']:.4f}" if wl else "-",
+            f"{wl['p95']:.4f}" if wl else "-",
+        ])
+    return t.render()
+
+
+def check_smoke(summary: dict) -> bool:
+    """The smoke verdict: injected crashes cost exactly their own cells."""
+    statuses = summary["statuses"]
+    availability_ok = all(
+        g["statuses"] == {"ok": g["cells"]} for g in summary["groups"]
+        if g["key"].get("mtbf_frac") is not None
+    )
+    injected = statuses.get("crashed", 0) + statuses.get("failed", 0)
+    return availability_ok and injected == 2 and statuses.get("ok", 0) >= 6
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Monte-Carlo work-lost distribution vs MTBF × interval"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced grid, 2 workers, 2 injected cell "
+                             "crashes the campaign must survive")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--dir", default=None,
+                        help=f"campaign directory (default {DEFAULT_DIR})")
+    parser.add_argument("--json", action="store_true",
+                        help="also write BENCH_availability_mc.json")
+    parser.add_argument("--out", default=None,
+                        help="output path for --json")
+    args = parser.parse_args(argv)
+    root = args.dir or (DEFAULT_DIR + ("_smoke" if args.smoke else ""))
+    workers = args.workers or (2 if args.smoke else None)
+    summary = sweep(smoke=args.smoke, workers=workers, root=root,
+                    progress=print)
+    print()
+    if args.smoke:
+        print(render(summary))
+        ok = check_smoke(summary)
+        print(f"smoke {'OK' if ok else 'FAILED'}: every availability cell "
+              "finished ok; the 2 injected worker crashes were isolated "
+              "to their own cells")
+        return 0 if ok else 1
+    save_result("availability_mc", render(summary), summary)
+    if args.json:
+        path = write_bench_json("availability_mc", summary, args.out)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def test_availability_mc(once):
+    summary = once(sweep)
+    assert summary["cells_total"] >= 200, "the MC study needs ≥200 cells"
+    # zero campaign-level failures: every cell of the real grid finished
+    assert summary["statuses"] == {"ok": summary["cells_total"]}
+    save_result("availability_mc", render(summary), summary)
+
+    # a second pass over the same directory is pure cache hits, and the
+    # aggregate it produces is bit-identical — the resumability contract
+    again = sweep()
+    assert again["run"]["ran"] == 0
+    assert again["run"]["skipped"] == again["run"]["total"]
+    assert {k: v for k, v in again.items() if k != "run"} \
+        == {k: v for k, v in summary.items() if k != "run"}
+
+    # per-trial invariants, straight from the journal
+    records = CampaignStore(summary["campaign_dir"]).records()
+    trials = [r["result"] for r in records.values()]
+    for t in trials:
+        if t["outcome"] == "censored":
+            assert t["work_lost"] == 0.0 and t["kill_at"] >= t["base_elapsed"]
+        elif t["outcome"] == "lost":
+            # nothing durable yet: everything up to the crash is gone
+            assert t["work_lost"] == t["kill_at"] < t["base_elapsed"]
+        else:
+            # rolled-back progress plus detection latency, bounded by
+            # how far the job had actually gotten
+            assert 0.0 <= t["work_lost"] <= t["base_elapsed"]
+
+    def trials_of(axis, value):
+        return [r["result"] for r in records.values()
+                if r["params"].get(axis) == value]
+
+    def mean(vals):
+        return sum(vals) / len(vals)
+
+    # recovered trials lose on average about half a checkpoint interval:
+    # the tightest interval must beat the loosest
+    intervals = sorted({r["params"]["interval_frac"]
+                        for r in records.values()})
+    recovered = {
+        i: [t["work_lost"] for t in trials_of("interval_frac", i)
+            if t["outcome"] == "recovered"]
+        for i in intervals
+    }
+    assert mean(recovered[intervals[0]]) <= mean(recovered[intervals[-1]])
+
+    # rarer failures: more censored trials, less expected loss (pooled
+    # over the interval axis — per-group means drown in MC noise)
+    mtbfs = sorted({r["params"]["mtbf_frac"] for r in records.values()})
+    frail, hardy = trials_of("mtbf_frac", mtbfs[0]), \
+        trials_of("mtbf_frac", mtbfs[-1])
+    n_censored = [sum(1 for t in ts if t["outcome"] == "censored")
+                  for ts in (frail, hardy)]
+    assert n_censored[0] < n_censored[1]
+    assert (mean([t["work_lost"] or 0.0 for t in frail])
+            > mean([t["work_lost"] or 0.0 for t in hardy]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

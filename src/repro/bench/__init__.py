@@ -10,8 +10,10 @@ native and MANA sessions and extract the series each figure plots.
 from repro.bench.harness import (
     BenchScale,
     current_scale,
+    git_sha,
     provenance,
     save_result,
+    seed_git_sha,
     write_bench_json,
     fig2_point,
     table2_cell,
@@ -22,8 +24,10 @@ from repro.bench.harness import (
 __all__ = [
     "BenchScale",
     "current_scale",
+    "git_sha",
     "provenance",
     "save_result",
+    "seed_git_sha",
     "write_bench_json",
     "fig2_point",
     "table2_cell",

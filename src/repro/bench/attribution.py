@@ -1,0 +1,90 @@
+"""Provenance stamping for benchmark and campaign artifacts.
+
+Every machine-readable result this repo emits carries an attribution
+stamp: which commit produced it, at which bench scale, and — when the
+caller supplies them — on which machine model, from which seed, under
+which exact configuration (a stable hash of the full knob set; two
+results with different config hashes are not comparable).
+
+The git SHA is memoized per process.  A campaign fans thousands of
+cells across worker processes, and shelling out to ``git rev-parse``
+once per cell would dominate short cells; the campaign runner resolves
+the SHA once in the parent and plants it into each worker with
+:func:`seed_git_sha`, so workers never fork a git subprocess at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import subprocess
+from typing import Optional
+
+#: per-process memo for :func:`git_sha`.  ``False`` means "not resolved
+#: yet" (None is a legitimate resolved value: no git / not a checkout).
+_GIT_SHA_CACHE: "object" = False
+
+
+def _resolve_git_sha() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=pathlib.Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def git_sha() -> Optional[str]:
+    """The repo HEAD (or None outside a git checkout), memoized so a
+    process asks git exactly once no matter how many results it stamps."""
+    global _GIT_SHA_CACHE
+    if _GIT_SHA_CACHE is False:
+        _GIT_SHA_CACHE = _resolve_git_sha()
+    return _GIT_SHA_CACHE  # type: ignore[return-value]
+
+
+def seed_git_sha(sha: Optional[str]) -> None:
+    """Plant the memo directly (campaign workers inherit the parent's
+    answer instead of each shelling out to git)."""
+    global _GIT_SHA_CACHE
+    _GIT_SHA_CACHE = sha
+
+
+def clear_git_sha_cache() -> None:
+    """Forget the memo (tests only)."""
+    global _GIT_SHA_CACHE
+    _GIT_SHA_CACHE = False
+
+
+def current_scale_name() -> str:
+    """The bench scale as a string, without importing the harness
+    (avoids a circular import: the harness re-exports this module)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+
+def provenance(machine=None, seed: Optional[int] = None,
+               cfg=None) -> dict:
+    """The attribution stamp for a ``BENCH_*.json`` / campaign artifact:
+    which commit produced it, on which machine model, from which seed,
+    under which exact configuration (as a stable hash of the full knob
+    set — two trajectories with different config hashes are not
+    comparable)."""
+    prov: dict = {"git_sha": git_sha(), "scale": current_scale_name()}
+    if machine is not None:
+        prov["machine"] = machine.name
+    if seed is not None:
+        prov["seed"] = seed
+    if cfg is not None:
+        from repro.util.hashing import stable_hash
+
+        blob = json.dumps(
+            dataclasses.asdict(cfg), sort_keys=True, default=str
+        ).encode()
+        prov["config_hash"] = f"{stable_hash(blob):#018x}"
+    return prov

@@ -2,19 +2,25 @@
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 import json
 import os
 import pathlib
-import subprocess
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.apps.dft_proxy import DftConfig, DftProxy, VaspWorkload
 from repro.apps.md_proxy import MdConfig, MdProxy
+from repro.bench.attribution import git_sha, provenance, seed_git_sha
 from repro.hosts.machine import MachineSpec
 from repro.mana.config import ManaConfig
 from repro.mana.session import CheckpointPlan, ManaSession, RunOutcome, run_app_native
+
+__all__ = [
+    "BenchScale", "current_scale", "results_dir", "save_result",
+    "git_sha", "seed_git_sha", "provenance", "write_bench_json",
+    "fig2_point", "table2_cell", "checkpoint_rounds",
+    "collective_rate_point",
+]
 
 
 class BenchScale(enum.Enum):
@@ -49,40 +55,8 @@ def save_result(name: str, text: str, data: Optional[dict] = None) -> None:
     print("\n" + text)
 
 
-def _git_sha() -> Optional[str]:
-    """The repo HEAD, or None outside a git checkout / without git."""
-    try:
-        proc = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-            cwd=pathlib.Path(__file__).resolve().parent,
-        )
-    except (OSError, subprocess.SubprocessError):
-        return None
-    sha = proc.stdout.strip()
-    return sha if proc.returncode == 0 and sha else None
-
-
-def provenance(machine: Optional[MachineSpec] = None,
-               seed: Optional[int] = None,
-               cfg: Optional[ManaConfig] = None) -> dict:
-    """The attribution stamp for a ``BENCH_*.json`` trajectory: which
-    commit produced it, on which machine model, from which seed, under
-    which exact configuration (as a stable hash of the full knob set —
-    two trajectories with different config hashes are not comparable)."""
-    prov: dict = {"git_sha": _git_sha(), "scale": current_scale().value}
-    if machine is not None:
-        prov["machine"] = machine.name
-    if seed is not None:
-        prov["seed"] = seed
-    if cfg is not None:
-        from repro.util.hashing import stable_hash
-
-        blob = json.dumps(
-            dataclasses.asdict(cfg), sort_keys=True, default=str
-        ).encode()
-        prov["config_hash"] = f"{stable_hash(blob):#018x}"
-    return prov
+# provenance stamping lives in repro.bench.attribution (memoized git_sha,
+# seed_git_sha for campaign workers); re-exported here for back-compat
 
 
 def write_bench_json(name: str, data: dict,

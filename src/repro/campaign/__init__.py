@@ -1,0 +1,67 @@
+"""Campaign orchestration: thousands of simulations as one workload.
+
+The production story for a simulator is running *fleets* of it: the
+NERSC MANA study evaluates checkpointing exactly this way — sweeps of
+jobs across workloads, intervals, and machines — and the paper's own
+claims (overhead vs. interval, work lost vs. MTBF) are statistical
+statements that one-seed benches cannot answer.  This package turns a
+declarative grid (:class:`CampaignSpec`) into seeded cells, fans them
+across every core with crash-isolated workers, journals each finished
+cell durably, and aggregates the fleet into distribution statistics.
+
+The subsystem deliberately mirrors the checkpoint/restart semantics it
+simulates, one layer up: the journal is the checkpoint image, a killed
+campaign is the failed job, and ``resume`` is the restart that loses at
+most the cells that were in flight.
+
+Layering: campaign sits at the very top of the stack.  It may drive the
+app/session entry points, the fault scenarios, the storage presets, and
+the bench plumbing — but nothing below (``repro.des``, ``repro.simnet``,
+``repro.mana``, ...) may import it; ``tools/check_layering.py`` rule 7
+enforces both directions.
+"""
+
+from repro.campaign.aggregate import (
+    aggregate_records,
+    aggregate_store,
+    percentile,
+    render_summary,
+    summarize,
+)
+from repro.campaign.cells import CELL_KINDS, cell_kind, run_cell
+from repro.campaign.runner import CampaignRun, run_campaign
+from repro.campaign.spec import (
+    SPECS,
+    CampaignSpec,
+    Cell,
+    config_hash,
+    spec_availability_mc,
+    spec_fault_recovery,
+    spec_scenarios,
+    spec_smoke,
+    spec_storage_redundancy,
+)
+from repro.campaign.store import CampaignStore
+
+__all__ = [
+    "CELL_KINDS",
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignStore",
+    "Cell",
+    "SPECS",
+    "aggregate_records",
+    "aggregate_store",
+    "cell_kind",
+    "config_hash",
+    "percentile",
+    "render_summary",
+    "run_campaign",
+    "run_cell",
+    "spec_availability_mc",
+    "spec_fault_recovery",
+    "spec_scenarios",
+    "spec_smoke",
+    "spec_storage_redundancy",
+    "summarize",
+]

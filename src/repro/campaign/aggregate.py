@@ -1,0 +1,162 @@
+"""Reduce a campaign journal into summary statistics.
+
+Aggregation is order-independent by construction: records are keyed by
+cell id, groups are sorted by their canonical key, and metric values
+are sorted before any floating-point reduction — so a campaign run with
+1 worker or 16, straight through or killed-and-resumed, produces a
+bit-identical summary.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.attribution import provenance
+from repro.campaign.store import CampaignStore
+from repro.util.tables import AsciiTable
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (numpy's default) over a
+    pre-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    pos = (len(sorted_values) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(sorted_values[lo])
+    frac = pos - lo
+    return float(sorted_values[lo] * (1.0 - frac)
+                 + sorted_values[hi] * frac)
+
+
+def summarize(values: Iterable[float]) -> Optional[dict]:
+    """count / mean / min / p50 / p95 / max of a numeric sample."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        return None
+    return {
+        "count": len(vals),
+        "mean": sum(vals) / len(vals),
+        "min": vals[0],
+        "p50": percentile(vals, 50.0),
+        "p95": percentile(vals, 95.0),
+        "max": vals[-1],
+    }
+
+
+def aggregate_records(records: Iterable[dict],
+                      group_by: Sequence[str],
+                      metrics: Sequence[str],
+                      categoricals: Sequence[str] = ()) -> dict:
+    """Group finished cells by their ``group_by`` params and reduce.
+
+    Only ``status == "ok"`` cells contribute metric values; every cell
+    is counted in the per-group and campaign-wide status tallies.
+    Metric values that are ``None`` (a cell that legitimately has no
+    such number, e.g. work lost of an unrecoverable job) are skipped.
+    """
+    groups: Dict[str, dict] = {}
+    statuses: Dict[str, int] = {}
+    for rec in records:
+        status = rec.get("status", "?")
+        statuses[status] = statuses.get(status, 0) + 1
+        params = rec.get("params") or {}
+        key_map = {axis: params.get(axis) for axis in group_by}
+        key = json.dumps(key_map, sort_keys=True, default=str)
+        g = groups.setdefault(key, {
+            "key": key_map,
+            "cells": 0,
+            "statuses": {},
+            "_values": {m: [] for m in metrics},
+            "_cats": {c: {} for c in categoricals},
+        })
+        g["cells"] += 1
+        g["statuses"][status] = g["statuses"].get(status, 0) + 1
+        if status != "ok":
+            continue
+        result = rec.get("result") or {}
+        for m in metrics:
+            v = result.get(m)
+            if v is not None:
+                g["_values"][m].append(v)
+        for c in categoricals:
+            v = result.get(c)
+            if v is not None:
+                g["_cats"][c][v] = g["_cats"][c].get(v, 0) + 1
+    out_groups: List[dict] = []
+    for key in sorted(groups):
+        g = groups[key]
+        out_groups.append({
+            "key": g["key"],
+            "cells": g["cells"],
+            "statuses": dict(sorted(g["statuses"].items())),
+            "metrics": {m: summarize(vs) for m, vs in g["_values"].items()},
+            "categories": {c: dict(sorted(counts.items()))
+                           for c, counts in g["_cats"].items()},
+        })
+    return {
+        "group_by": list(group_by),
+        "metrics": list(metrics),
+        "categoricals": list(categoricals),
+        "cells_total": sum(statuses.values()),
+        "statuses": dict(sorted(statuses.items())),
+        "groups": out_groups,
+    }
+
+
+def aggregate_store(store: CampaignStore) -> dict:
+    """Aggregate a campaign directory using the manifest's own recipe,
+    stamped with the campaign's provenance."""
+    spec = store.load_spec()
+    summary = aggregate_records(
+        store.records().values(), spec.group_by, spec.metrics,
+        spec.categoricals,
+    )
+    summary["campaign"] = spec.name
+    summary["spec_hash"] = spec.spec_hash
+    summary["provenance"] = provenance()
+    return summary
+
+
+def render_summary(summary: dict, title: Optional[str] = None) -> str:
+    """One row per group: axes, cell tally, and metric mean/p50/p95."""
+    group_by = summary["group_by"]
+    metrics = summary["metrics"]
+    categoricals = summary.get("categoricals", [])
+    cols = list(group_by) + ["cells", "ok/other"]
+    for m in metrics:
+        cols += [f"{m} mean", f"{m} p50", f"{m} p95"]
+    for c in categoricals:
+        cols.append(c)
+    t = AsciiTable(cols, title=title or (
+        f"campaign {summary.get('campaign', '?')} — "
+        f"{summary['cells_total']} cells"
+    ))
+
+    def fmt(v) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.4f}"
+        return str(v)
+
+    for g in summary["groups"]:
+        ok = g["statuses"].get("ok", 0)
+        row = [fmt(g["key"].get(a)) for a in group_by]
+        row += [g["cells"], f"{ok}/{g['cells'] - ok}"]
+        for m in metrics:
+            s = g["metrics"].get(m)
+            row += ([fmt(s["mean"]), fmt(s["p50"]), fmt(s["p95"])]
+                    if s else ["-", "-", "-"])
+        for c in categoricals:
+            counts = g["categories"].get(c, {})
+            row.append(",".join(f"{k}:{n}" for k, n in counts.items())
+                       or "-")
+        t.add_row(row)
+    return t.render()

@@ -1,0 +1,254 @@
+"""The campaign executor: fan cells across cores, survive anything.
+
+One worker process per in-flight cell, bounded by ``workers``.  The
+parent never runs simulation code; it launches workers, collects their
+results over a pipe, enforces per-cell deadlines, retries transient
+failures (a crashed or timed-out worker) a bounded number of times, and
+journals every finished cell through :class:`CampaignStore` the moment
+it lands.  A cell that raises is a *failed cell*; a worker that dies —
+SIGKILL, OOM, segfault — is a *crashed cell*; neither is ever a
+campaign failure.  Kill the parent itself and the journal still holds
+every finished cell: resuming skips them and continues.
+
+Process-per-cell (rather than a long-lived pool) is deliberate: a pool
+worker that dies poisons the pool machinery, while a dead single-cell
+process costs exactly its own cell.  Cells are seeded simulations
+running tens of milliseconds to minutes, so the fork cost is noise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bench.attribution import git_sha, seed_git_sha
+from repro.campaign.cells import run_cell
+from repro.campaign.spec import CampaignSpec, Cell
+from repro.campaign.store import CampaignStore
+from repro.errors import CampaignError
+
+#: statuses the runner will re-attempt (transient by construction:
+#: the process died or overran its deadline — a deterministic Python
+#: exception would just fail again)
+RETRYABLE = ("crashed", "timeout")
+
+
+def _worker_main(conn, kind: str, params: dict, attempt: int,
+                 sha: Optional[str]) -> None:
+    """Run one cell and ship the outcome back over the pipe."""
+    seed_git_sha(sha)  # never shell out to git from a worker
+    try:
+        result = run_cell(kind, params, attempt)
+        conn.send({"status": "ok", "result": result})
+    except BaseException as exc:  # noqa: BLE001 — isolation boundary
+        conn.send({
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        })
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _Slot:
+    proc: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    cell: Cell
+    attempt: int
+    deadline: float
+
+
+@dataclass
+class CampaignRun:
+    """What one ``run_campaign`` invocation did."""
+
+    total: int = 0            #: cells in the grid (after dedup)
+    skipped: int = 0          #: cache hits: finished in a prior run
+    ran: int = 0              #: cells executed to a terminal status now
+    retries: int = 0          #: extra attempts spent on transient failures
+    counts: Dict[str, int] = field(default_factory=dict)
+    records: Dict[str, dict] = field(default_factory=dict)
+    wall_s: float = 0.0       #: informational; never journaled
+
+    @property
+    def failed_cells(self) -> int:
+        return sum(n for s, n in self.counts.items() if s != "ok")
+
+
+def _context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+def run_campaign(
+    spec: Optional[CampaignSpec],
+    root,
+    workers: Optional[int] = None,
+    on_existing: str = "error",
+    timeout_s: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignRun:
+    """Run (or resume) a campaign into directory ``root``.
+
+    ``on_existing`` governs an already-populated directory: ``"error"``
+    refuses (fresh runs), ``"resume"`` verifies the spec hash matches
+    and continues from the journal.  ``spec`` may be None only when
+    resuming — it is then rebuilt from the manifest.
+    """
+    if on_existing not in ("error", "resume"):
+        raise ValueError(f"on_existing must be 'error' or 'resume', "
+                         f"got {on_existing!r}")
+    say = progress or (lambda _msg: None)
+    store = CampaignStore(root)
+    if store.exists():
+        if on_existing == "error":
+            raise CampaignError(
+                f"campaign directory {store.root} already holds a "
+                "manifest; resume it or pick a fresh directory"
+            )
+        if spec is None:
+            spec = store.load_spec()
+        else:
+            store.check_spec(spec)
+    else:
+        if spec is None:
+            raise CampaignError(
+                f"no campaign manifest at {store.root} and no spec given"
+            )
+        store.create(spec)
+
+    # dedup identical cells (identical config hash ⇒ one execution)
+    cells: List[Cell] = []
+    seen = set()
+    for cell in spec.cells():
+        if cell.cell_id not in seen:
+            seen.add(cell.cell_id)
+            cells.append(cell)
+
+    done = store.records()
+    pending: List[Tuple[Cell, int]] = [
+        (c, 0) for c in cells if c.cell_id not in done
+    ]
+    run = CampaignRun(total=len(cells), skipped=len(cells) - len(pending))
+    say(f"campaign {spec.name!r}: {run.total} cells "
+        f"({run.skipped} cached, {len(pending)} to run)")
+
+    nworkers = max(1, workers or os.cpu_count() or 1)
+    deadline_s = timeout_s if timeout_s is not None else spec.timeout_s
+    sha = git_sha()  # resolve once; workers inherit, never fork git
+    ctx = _context()
+    inflight: List[_Slot] = []
+    t0 = time.monotonic()
+
+    def launch(cell: Cell, attempt: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, cell.kind, cell.params_dict, attempt, sha),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        inflight.append(_Slot(proc=proc, conn=parent_conn, cell=cell,
+                              attempt=attempt,
+                              deadline=time.monotonic() + deadline_s))
+
+    def finish(slot: _Slot, status: str, result=None, error=None,
+               tb=None) -> None:
+        cell = slot.cell
+        attempts = slot.attempt + 1
+        if status in RETRYABLE and attempts < spec.max_attempts:
+            run.retries += 1
+            say(f"  retry {cell.cell_id} (attempt {attempts + 1} after "
+                f"{status})")
+            pending.append((cell, slot.attempt + 1))
+            return
+        record = {
+            "cell_id": cell.cell_id,
+            "kind": cell.kind,
+            "config_hash": cell.config_hash,
+            "params": cell.params_dict,
+            "status": status,
+            "attempts": attempts,
+            "result": result,
+            "error": error,
+        }
+        if tb is not None:
+            record["traceback"] = tb
+        store.append(record)
+        run.ran += 1
+        run.counts[status] = run.counts.get(status, 0) + 1
+        if status != "ok":
+            say(f"  cell {cell.cell_id} {status}: {error}")
+        elif run.ran % 25 == 0:
+            say(f"  {run.ran}/{run.total - run.skipped} cells done")
+
+    def reap(slot: _Slot) -> bool:
+        """Resolve one slot if it has reached an outcome."""
+        outcome = None
+        crashed = False
+        if slot.conn.poll():
+            try:
+                outcome = slot.conn.recv()
+            except (EOFError, OSError):
+                crashed = True  # worker died before/mid send
+        elif not slot.proc.is_alive():
+            crashed = True  # dead with nothing readable: same crash
+        elif time.monotonic() >= slot.deadline:
+            slot.proc.kill()
+            slot.proc.join()
+            outcome = {"status": "timeout",
+                       "error": f"cell exceeded {deadline_s:g}s timeout"}
+        if crashed:
+            # one deterministic message whichever way the death was
+            # observed (pipe EOF vs. sentinel) — journals must not
+            # depend on that race
+            slot.proc.join()
+            outcome = {"status": "crashed",
+                       "error": "worker died with exit code "
+                                f"{slot.proc.exitcode}"}
+        if outcome is None:
+            return False
+        slot.proc.join()
+        slot.conn.close()
+        finish(slot, outcome["status"], result=outcome.get("result"),
+               error=outcome.get("error"), tb=outcome.get("traceback"))
+        return True
+
+    try:
+        while pending or inflight:
+            while pending and len(inflight) < nworkers:
+                cell, attempt = pending.pop(0)
+                launch(cell, attempt)
+            multiprocessing.connection.wait(
+                [s.conn for s in inflight]
+                + [s.proc.sentinel for s in inflight],
+                timeout=0.05,
+            )
+            inflight[:] = [s for s in inflight if not reap(s)]
+    finally:
+        for slot in inflight:  # interrupted: leave no orphans
+            slot.proc.kill()
+            slot.proc.join()
+            slot.conn.close()
+        store.close()
+
+    run.wall_s = time.monotonic() - t0
+    run.records = store.records()
+    parts = [f"{n} {s}" for s, n in sorted(run.counts.items())]
+    if run.skipped:
+        parts.append(f"{run.skipped} cached")
+    say(f"campaign {spec.name!r} finished: " + ", ".join(parts)
+        + f" ({run.wall_s:.1f}s wall, {nworkers} workers)")
+    return run

@@ -8,6 +8,10 @@ Subcommands:
 * ``machines`` — list the machine models;
 * ``configs`` — show the MANA branch presets and their knobs;
 * ``faults`` — list or run the fault-injection survivability scenarios;
+* ``campaign`` — orchestrate thousand-cell simulation sweeps: run a
+  named grid across all cores with crash-isolated workers, inspect its
+  progress, resume a killed campaign, and reduce the journal into
+  distribution statistics;
 * ``ir`` — inspect a saved image's replay logs through the IR compiler
   (dump ops, stats, run the rewrite passes);
 * ``demo`` — run one of the built-in demonstrations.
@@ -261,6 +265,91 @@ def cmd_faults(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_campaign(args) -> int:
+    import json
+
+    from repro.campaign import (
+        SPECS,
+        CampaignStore,
+        aggregate_store,
+        render_summary,
+        run_campaign,
+    )
+
+    if args.action == "list":
+        t = AsciiTable(["spec", "kind", "cells", "grid"],
+                       title="named campaign specs")
+        for name, maker in SPECS.items():
+            spec = maker()
+            axes = " × ".join(f"{k}[{len(v)}]" for k, v in spec.axes)
+            extras = len(spec.extra_cells)
+            t.add_row([name, spec.kind,
+                       len(spec.cells()),
+                       axes + (f" + {extras} extra" if extras else "")])
+        print(t.render())
+        return 0
+
+    if args.action in ("run", "resume"):
+        spec = None
+        if args.action == "run":
+            if args.spec is None:
+                raise SystemExit("campaign run needs --spec (see "
+                                 "'campaign list')")
+            if args.spec not in SPECS:
+                raise SystemExit(f"unknown spec {args.spec!r}; one of "
+                                 f"{', '.join(SPECS)}")
+            kwargs = {}
+            if args.seeds is not None:
+                kwargs["seeds"] = args.seeds
+            if args.spec == "smoke" and args.seeds is not None:
+                kwargs = {"cells": args.seeds}
+            spec = SPECS[args.spec](**kwargs)
+        run = run_campaign(
+            spec,
+            args.dir,
+            workers=args.workers,
+            on_existing="resume" if (args.action == "resume"
+                                     or args.resume) else "error",
+            timeout_s=args.timeout,
+            progress=print,
+        )
+        bad = run.failed_cells
+        if args.strict and bad:
+            print(f"--strict: {bad} cell(s) did not finish ok")
+            return 1
+        return 0
+
+    store = CampaignStore(args.dir)
+    if args.action == "status":
+        manifest = store.load_manifest()
+        counts = store.status_counts()
+        done = sum(counts.values())
+        total = manifest["total_cells"]
+        t = AsciiTable(["status", "cells"],
+                       title=(f"campaign {manifest['spec']['name']!r} — "
+                              f"{done}/{total} cells finished"))
+        for status, n in sorted(counts.items()):
+            t.add_row([status, n])
+        if total - done:
+            t.add_row(["pending", total - done])
+        print(t.render())
+        return 0
+
+    if args.action == "report":
+        summary = aggregate_store(store)
+        print(render_summary(summary))
+        if args.out:
+            import pathlib
+
+            pathlib.Path(args.out).write_text(
+                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"summary written to {args.out}")
+        return 0
+
+    raise SystemExit(f"unknown campaign action {args.action!r}")
+
+
 def cmd_ir(args) -> int:
     import json
 
@@ -477,6 +566,30 @@ def main(argv: Optional[list] = None) -> int:
     faults.add_argument("--json", action="store_true",
                         help="one JSON summary per line instead of text")
     faults.set_defaults(fn=cmd_faults)
+
+    camp = sub.add_parser(
+        "campaign",
+        help="orchestrate, resume, and reduce thousand-cell sweeps",
+    )
+    camp.add_argument("action",
+                      choices=["list", "run", "status", "resume", "report"])
+    camp.add_argument("--spec", default=None,
+                      help="named spec for 'run' (see 'campaign list')")
+    camp.add_argument("--dir", default="campaign_out",
+                      help="campaign directory (manifest + cell journal)")
+    camp.add_argument("--workers", type=int, default=None,
+                      help="worker processes (default: all cores)")
+    camp.add_argument("--seeds", type=int, default=None,
+                      help="seeds per grid point (spec default if unset)")
+    camp.add_argument("--timeout", type=float, default=None,
+                      help="per-cell timeout in seconds (spec default)")
+    camp.add_argument("--resume", action="store_true",
+                      help="allow 'run' to continue an existing directory")
+    camp.add_argument("--strict", action="store_true",
+                      help="exit 1 if any cell finished non-ok")
+    camp.add_argument("--out", default=None,
+                      help="write the 'report' summary JSON here")
+    camp.set_defaults(fn=cmd_campaign)
 
     ir = sub.add_parser(
         "ir", help="inspect a saved image through the IR replay compiler"

@@ -90,3 +90,12 @@ class MigrationWarning(UserWarning):
     models, and the FS-register tier now reflect the *target* machine.
     A genuinely unknown source machine still raises ``ValueError``.
     """
+
+
+class CampaignError(ReproError):
+    """A campaign-level orchestration failure (corrupt or mismatched
+    campaign directory, resuming a manifest written by a different
+    spec, ...).  Individual *cell* failures never raise this — a cell
+    that crashes, times out, or throws is recorded as a failed cell and
+    the campaign keeps running; that isolation is the subsystem's whole
+    contract."""

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Layering lint: façades stay façades, mechanism stays below policy.
 
-Six rules, all enforced by walking module ASTs:
+Seven rules, all enforced by walking module ASTs:
 
 1. ``src/repro/mana/wrappers.py`` routes every MPI entry point through
    the interposition pipeline (``repro/mana/pipeline/``).  Costing and
@@ -54,6 +54,18 @@ Six rules, all enforced by walking module ASTs:
    here would smuggle lower-half state into the portable image and
    quietly break cross-machine restart.
 
+7. ``repro.campaign`` is the orchestration apex: it fans whole
+   simulations across worker processes, so it may drive the app/session
+   *entry points* (``repro.apps``, ``repro.mana.session`` /
+   ``repro.mana.config``, ``repro.faults``, ``repro.storage``,
+   ``repro.hosts``) plus ``repro.bench``, ``repro.util`` and
+   ``repro.errors`` — but never the runtime internals (the DES core,
+   the network, the wrapper pipeline).  And nothing below it —
+   ``repro.des``, ``repro.simnet``, ``repro.mana``, ``repro.simmpi``,
+   ``repro.faults``, ``repro.storage``, ``repro.hosts``, ``repro.ir``,
+   ``repro.util``, ``repro.bench`` — may import ``repro.campaign``: a
+   single simulation must never know it is one cell of a fleet.
+
 Usage: python tools/check_layering.py  (exit 0 = clean, 1 = violation)
 """
 
@@ -91,6 +103,21 @@ IR_ALLOWED = ("repro.util", "repro.errors", "repro.ir")
 #: never reach (lower-half state is rebuilt from the target machine)
 PORTABLE = SRC / "repro" / "mana" / "portable.py"
 PORTABLE_FORBIDDEN = ("repro.hosts", "repro.simnet")
+
+#: the campaign orchestration apex: only entry points, never internals
+CAMPAIGN_DIR = "repro/campaign"
+CAMPAIGN_ALLOWED = (
+    "repro.campaign", "repro.bench", "repro.util", "repro.errors",
+    "repro.apps", "repro.hosts", "repro.faults", "repro.storage",
+    "repro.mana.session", "repro.mana.config",
+)
+#: every layer below the campaign apex: none may import repro.campaign
+CAMPAIGN_LOWER_DIRS = (
+    "repro/des", "repro/simnet", "repro/mana", "repro/simmpi",
+    "repro/faults", "repro/storage", "repro/hosts", "repro/ir",
+    "repro/util", "repro/bench", "repro/apps",
+)
+CAMPAIGN_PKG = "repro.campaign"
 
 
 def _imports(path: Path) -> List[Tuple[int, str, str]]:
@@ -212,9 +239,45 @@ def portable_violations() -> List[str]:
     ]
 
 
+def campaign_violations() -> List[str]:
+    """Rule 7, downward direction: ``repro.campaign`` touches only the
+    entry-point allow-list, never runtime internals."""
+    bad = []
+    for path in sorted((SRC / CAMPAIGN_DIR).rglob("*.py")):
+        rel = path.relative_to(REPO)
+        for lineno, mod, desc in _imports(path):
+            if not _hits(mod, "repro"):
+                continue
+            if any(_hits(mod, ok) for ok in CAMPAIGN_ALLOWED):
+                continue
+            bad.append(
+                f"{rel}:{lineno}: campaign orchestration imports a "
+                f"runtime internal (drive the app/session entry points "
+                f"instead): {desc}"
+            )
+    return bad
+
+
+def campaign_reverse_violations() -> List[str]:
+    """Rule 7, upward direction: no layer below the campaign apex may
+    import it — a simulation must not know it is a fleet cell."""
+    bad = []
+    for subdir in CAMPAIGN_LOWER_DIRS:
+        for path in sorted((SRC / subdir).rglob("*.py")):
+            rel = path.relative_to(REPO)
+            bad.extend(
+                f"{rel}:{lineno}: lower layer imports the campaign "
+                f"orchestrator: {desc}"
+                for lineno, mod, desc in _imports(path)
+                if _hits(mod, CAMPAIGN_PKG)
+            )
+    return bad
+
+
 def main() -> int:
     bad = (wrapper_violations() + faults_violations() + storage_violations()
-           + des_violations() + ir_violations() + portable_violations())
+           + des_violations() + ir_violations() + portable_violations()
+           + campaign_violations() + campaign_reverse_violations())
     if bad:
         for line in bad:
             print(line, file=sys.stderr)
@@ -227,7 +290,9 @@ def main() -> int:
             "repro.mana/repro.simmpi/repro.simnet; repro.ir imports only "
             "repro.util/repro.errors (runtime access goes through "
             "repro.mana.ir_bridge); repro/mana/portable.py imports "
-            "nothing from repro.hosts or repro.simnet",
+            "nothing from repro.hosts or repro.simnet; repro.campaign "
+            "imports only bench/util/errors and the app/session entry "
+            "points, and nothing below it imports repro.campaign",
             file=sys.stderr,
         )
         return 1
@@ -236,7 +301,8 @@ def main() -> int:
           "below repro.mana and repro.faults; repro.des imports none of "
           "repro.mana/repro.simmpi/repro.simnet; repro.ir imports only "
           "repro.util/repro.errors; the portable upper half imports "
-          "neither repro.hosts nor repro.simnet")
+          "neither repro.hosts nor repro.simnet; repro.campaign touches "
+          "only entry points and no lower layer imports it back")
     return 0
 
 
