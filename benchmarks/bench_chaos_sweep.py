@@ -1,0 +1,201 @@
+"""Chaos sweep: survival rate and time-to-recover under arbitrary
+fault timing.
+
+The recovery story so far is measured at *chosen* fault times (after
+the first commit, mid-2PC, etc.).  This bench removes the choosing: it
+sweeps the crash-anywhere harness (:mod:`repro.faults.chaos`) across
+the whole event range of a checkpointed run and reports two
+trajectories:
+
+* **survival vs injection density** — for each fault kind, the fraction
+  of injection points ending completed-or-recovered (vs typed job loss)
+  as the sweep gets finer.  The rate should be *stable* across
+  densities: the outcome depends on where a fault lands relative to the
+  first durable commit, not on how finely we sample — so a moving rate
+  flags timing-sensitive recovery bugs.
+* **survival and MTTR vs cascade depth** — ``crash_storm`` points with
+  1, 2, and 3 victims dying in quick succession.  Victims either fold
+  into a shared detection (one rollback covers several kills — the
+  union-merge path) or chain follow-up episodes, so total rollback
+  attempts per surviving point grow with depth while the survival rate
+  holds; every non-survivor must be a *typed* job loss, never a hang.
+
+The harness also asserts the hard invariant everywhere: zero
+violations — every injection point ends completed-correct,
+recovered-correct, or gracefully job-lost, bit-identically under the
+same seed.
+
+``--smoke`` runs a reduced sweep (~30 injection points) for CI.
+"""
+
+from repro.bench import BenchScale, current_scale, save_result, write_bench_json
+from repro.faults.chaos import run_chaos_sweep, summarize_sweep
+from repro.util.tables import AsciiTable
+
+#: fault kinds for the density sweep (a crash, a node crash + storage
+#: loss, a lossy control channel, silent storage damage)
+DENSITY_KINDS = ("kill_rank", "node_loss", "oob_delay", "blob_corrupt")
+
+
+def sweep(smoke: bool = False) -> dict:
+    if smoke:
+        densities = (8,)
+        depths = (1, 2)
+        depth_points = 4
+    elif current_scale() is BenchScale.FULL:
+        densities = (10, 25, 50)
+        depths = (1, 2, 3)
+        depth_points = 25
+    else:
+        densities = (10, 25)
+        depths = (1, 2, 3)
+        depth_points = 10
+
+    density_rows = []
+    total_points = 0
+    total_violations = 0
+    for points in densities:
+        s = run_chaos_sweep(kinds=DENSITY_KINDS, points=points)
+        total_points += s["summary"]["total"]
+        total_violations += s["summary"]["violations"]
+        for kind in DENSITY_KINDS:
+            per = s["summary"]["by_kind"][kind]
+            kind_points = [r for r in s["points"] if r["kind"] == kind]
+            mttrs = [r["mttr"] for r in kind_points if r["mttr"] is not None]
+            survived = per.get("completed", 0) + per.get("recovered", 0)
+            density_rows.append({
+                "points": points,
+                "kind": kind,
+                "by_classification": per,
+                "survival_rate": survived / len(kind_points),
+                "mttr_mean": (sum(mttrs) / len(mttrs)) if mttrs else None,
+            })
+
+    depth_rows = []
+    for depth in depths:
+        s = run_chaos_sweep(kinds=("crash_storm",), points=depth_points,
+                            depth=depth)
+        total_points += s["summary"]["total"]
+        total_violations += s["summary"]["violations"]
+        summ = summarize_sweep(s["points"])
+        recovered = [r for r in s["points"]
+                     if r["classification"] == "recovered"]
+        depth_rows.append({
+            "depth": depth,
+            "points": summ["total"],
+            "by_classification": summ["by_classification"],
+            "survival_rate": summ["survival_rate"],
+            "mttr_mean": summ["mttr_mean"],
+            "attempts_mean": (sum(r["attempts"] for r in recovered)
+                              / len(recovered)) if recovered else None,
+        })
+
+    return {
+        "density": density_rows,
+        "cascade": depth_rows,
+        "total_points": total_points,
+        "violations": total_violations,
+    }
+
+
+def render(data: dict) -> str:
+    t1 = AsciiTable(
+        ["kind", "density (points)", "completed", "recovered", "lost",
+         "survival", "MTTR (s)"],
+        title="chaos sweep — survival vs injection density "
+              f"({data['total_points']} points total, "
+              f"{data['violations']} violations)",
+    )
+    for row in data["density"]:
+        per = row["by_classification"]
+        t1.add_row([
+            row["kind"], row["points"],
+            per.get("completed", 0), per.get("recovered", 0),
+            per.get("lost", 0),
+            f"{row['survival_rate']:.3f}",
+            f"{row['mttr_mean']:.6f}" if row["mttr_mean"] else "-",
+        ])
+    t2 = AsciiTable(
+        ["cascade depth", "points", "recovered", "lost", "survival",
+         "MTTR (s)", "attempts/recovery"],
+        title="chaos sweep — crash_storm survival and MTTR vs cascade depth",
+    )
+    for row in data["cascade"]:
+        per = row["by_classification"]
+        t2.add_row([
+            row["depth"], row["points"],
+            per.get("recovered", 0), per.get("lost", 0),
+            f"{row['survival_rate']:.3f}",
+            f"{row['mttr_mean']:.6f}" if row["mttr_mean"] else "-",
+            f"{row['attempts_mean']:.2f}" if row["attempts_mean"] else "-",
+        ])
+    return t1.render() + "\n\n" + t2.render()
+
+
+def check(data: dict) -> list:
+    """The bench's own acceptance: the properties the tables must show."""
+    problems = []
+    if data["violations"]:
+        problems.append(f"{data['violations']} invariant violations")
+    # survival is a property of where faults land, not sampling density:
+    # for each kind the rate must not swing across densities
+    by_kind = {}
+    for row in data["density"]:
+        by_kind.setdefault(row["kind"], []).append(row["survival_rate"])
+    for kind, rates in by_kind.items():
+        if max(rates) - min(rates) > 0.25:
+            problems.append(
+                f"{kind}: survival rate swings with density ({rates})"
+            )
+    # deeper cascades may cost more recovery attempts but must stay
+    # survivable wherever depth-1 storms were
+    for row in data["cascade"]:
+        if row["survival_rate"] is not None and row["survival_rate"] < 0.3:
+            problems.append(
+                f"crash_storm depth {row['depth']}: survival "
+                f"{row['survival_rate']:.3f} collapsed"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="crash-anywhere chaos sweep: survival and MTTR vs "
+                    "injection density and cascade depth"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sweep (~30 injection points) for CI")
+    parser.add_argument("--json", action="store_true",
+                        help="also write BENCH_chaos_sweep.json")
+    parser.add_argument("--out", default=None, help="output path for --json")
+    args = parser.parse_args(argv)
+    data = sweep(smoke=args.smoke)
+    problems = check(data)
+    if args.smoke:
+        print(render(data))
+        for p in problems:
+            print(f"PROBLEM: {p}")
+        print(f"smoke {'OK' if not problems else 'FAILED'}: "
+              f"{data['total_points']} injection points, "
+              f"{data['violations']} violations")
+        return 0 if not problems else 1
+    save_result("chaos_sweep", render(data), data)
+    for p in problems:
+        print(f"PROBLEM: {p}")
+    if args.json:
+        path = write_bench_json("chaos_sweep", data, args.out)
+        print(f"\nwrote {path}")
+    return 0 if not problems else 1
+
+
+def test_chaos_sweep(once):
+    data = once(sweep)
+    assert not check(data), check(data)
+    assert data["violations"] == 0
+    save_result("chaos_sweep", render(data), data)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,10 +56,13 @@ def aggregate_records(records: Iterable[dict],
                       categoricals: Sequence[str] = ()) -> dict:
     """Group finished cells by their ``group_by`` params and reduce.
 
-    Only ``status == "ok"`` cells contribute metric values; every cell
-    is counted in the per-group and campaign-wide status tallies.
-    Metric values that are ``None`` (a cell that legitimately has no
-    such number, e.g. work lost of an unrecoverable job) are skipped.
+    ``status == "ok"`` cells contribute metric values, and so do
+    ``status == "lost"`` cells — a gracefully job-lost chaos cell is a
+    reportable outcome whose result dict carries its work-lost
+    accounting, not a failure to discard.  Every cell is counted in the
+    per-group and campaign-wide status tallies.  Metric values that are
+    ``None`` (a cell that legitimately has no such number, e.g. work
+    lost of an unrecoverable job) are skipped.
     """
     groups: Dict[str, dict] = {}
     statuses: Dict[str, int] = {}
@@ -78,7 +81,7 @@ def aggregate_records(records: Iterable[dict],
         })
         g["cells"] += 1
         g["statuses"][status] = g["statuses"].get(status, 0) + 1
-        if status != "ok":
+        if status not in ("ok", "lost"):
             continue
         result = rec.get("result") or {}
         for m in metrics:

@@ -211,6 +211,20 @@ def storage_redundancy(params: dict, attempt: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+@cell_kind("chaos")
+def chaos(params: dict, attempt: int) -> dict:
+    """One crash-anywhere chaos point (repro.faults.chaos): inject one
+    seeded fault right before the cell's injection event, then verify
+    the terminal-state invariants.  A violated invariant raises (a
+    failed cell); a typed job-lost outcome propagates as JobLostError,
+    which the runner classifies as the reportable ``"lost"`` status with
+    its work-lost accounting — degradation is a result, not a bug."""
+    from repro.faults.chaos import run_chaos_cell
+
+    return run_chaos_cell(params)
+
+
+# ----------------------------------------------------------------------
 @cell_kind("availability")
 def availability(params: dict, attempt: int) -> dict:
     """One Monte-Carlo availability trial.

@@ -30,7 +30,7 @@ from repro.bench.attribution import git_sha, seed_git_sha
 from repro.campaign.cells import run_cell
 from repro.campaign.spec import CampaignSpec, Cell
 from repro.campaign.store import CampaignStore
-from repro.errors import CampaignError
+from repro.errors import CampaignError, JobLostError
 
 #: statuses the runner will re-attempt (transient by construction:
 #: the process died or overran its deadline — a deterministic Python
@@ -45,6 +45,15 @@ def _worker_main(conn, kind: str, params: dict, attempt: int,
     try:
         result = run_cell(kind, params, attempt)
         conn.send({"status": "ok", "result": result})
+    except JobLostError as exc:
+        # graceful degradation is a *reportable outcome*, not a cell
+        # failure: the job exhausted its recovery ladder and ended in
+        # the typed terminal state, with the work lost fully accounted
+        conn.send({
+            "status": "lost",
+            "result": dict(exc.record),
+            "error": str(exc),
+        })
     except BaseException as exc:  # noqa: BLE001 — isolation boundary
         conn.send({
             "status": "failed",
@@ -81,7 +90,14 @@ class CampaignRun:
 
     @property
     def failed_cells(self) -> int:
-        return sum(n for s, n in self.counts.items() if s != "ok")
+        # "lost" is a reported experimental outcome (graceful job loss
+        # with accounting), not a campaign-level failure
+        return sum(n for s, n in self.counts.items()
+                   if s not in ("ok", "lost"))
+
+    @property
+    def lost_cells(self) -> int:
+        return self.counts.get("lost", 0)
 
 
 def _context():

@@ -239,6 +239,29 @@ def spec_scenarios(seeds: int = 3, nranks: int = 4) -> CampaignSpec:
     )
 
 
+def spec_chaos(points: int = 100, nranks: int = 4, laps: int = 6,
+               depth: int = 2, seed: int = 0,
+               kinds: Sequence[str] = ("kill_rank", "oob_delay",
+                                       "blob_corrupt")) -> CampaignSpec:
+    """The crash-anywhere acceptance sweep: fault kind × injection
+    point, every cell classified completed / recovered / lost, any
+    invariant violation a failed cell.  The default grid is 3 × 100 =
+    300 injection points.  Cells carry a 1-based *point index*, not a
+    raw event number — each cell derives its event from its own
+    deterministic golden run, keeping the grid static JSON."""
+    return CampaignSpec.make(
+        name="chaos",
+        kind="chaos",
+        base={"nranks": nranks, "laps": laps, "depth": depth,
+              "points": points, "seed": seed},
+        axes={"fault": tuple(kinds),
+              "point": tuple(range(1, points + 1))},
+        group_by=("fault",),
+        metrics=("elapsed", "mttr", "work_lost"),
+        categoricals=("classification",),
+    )
+
+
 def spec_smoke(cells: int = 14, sleep_s: float = 0.05) -> CampaignSpec:
     """The CI smoke campaign: a small synthetic grid with two injected
     mid-run cell failures (one Python exception, one SIGKILL'd worker)
@@ -267,5 +290,6 @@ SPECS: Dict[str, Callable[..., CampaignSpec]] = {
     "storage-redundancy": spec_storage_redundancy,
     "availability-mc": spec_availability_mc,
     "scenarios": spec_scenarios,
+    "chaos": spec_chaos,
     "smoke": spec_smoke,
 }

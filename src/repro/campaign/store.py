@@ -32,8 +32,10 @@ from repro.campaign.spec import MANIFEST_VERSION, CampaignSpec
 MANIFEST_NAME = "campaign.json"
 JOURNAL_NAME = "cells.jsonl"
 
-#: a finished cell is one of these; anything else never reaches the journal
-TERMINAL_STATUSES = ("ok", "failed", "crashed", "timeout")
+#: a finished cell is one of these; anything else never reaches the
+#: journal ("lost" = the cell's job ended in typed graceful degradation
+#: — a reportable outcome with work-lost accounting, not a failure)
+TERMINAL_STATUSES = ("ok", "lost", "failed", "crashed", "timeout")
 
 
 class CampaignStore:

@@ -265,6 +265,47 @@ def cmd_faults(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.faults.chaos import CHAOS_KINDS, DEFAULT_KINDS, run_chaos_sweep
+
+    kinds = (tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+             if args.kinds else DEFAULT_KINDS)
+    for k in kinds:
+        if k not in CHAOS_KINDS:
+            raise SystemExit(f"unknown chaos kind {k!r}; one of "
+                             f"{', '.join(CHAOS_KINDS)}")
+    sweep = run_chaos_sweep(nranks=args.ranks, laps=args.laps, kinds=kinds,
+                            points=args.points, seed=args.seed,
+                            depth=args.depth)
+    summary = sweep["summary"]
+    if args.json:
+        print(json.dumps(sweep, sort_keys=True, default=str))
+    else:
+        classes = ("completed", "recovered", "lost", "violation")
+        t = AsciiTable(["kind"] + list(classes),
+                       title=(f"chaos sweep — {summary['total']} injection "
+                              f"points ({len(kinds)} kinds × "
+                              f"{summary['total'] // max(1, len(kinds))} "
+                              f"events)"))
+        for kind in kinds:
+            per = summary["by_kind"].get(kind, {})
+            t.add_row([kind] + [per.get(c, 0) for c in classes])
+        print(t.render())
+        rate = summary["survival_rate"]
+        mttr = summary["mttr_mean"]
+        print(f"survival rate {rate:.3f}" if rate is not None else
+              "survival rate -", end="")
+        print(f", mean time to recover "
+              f"{mttr:.6f}s" if mttr is not None else ", no recoveries")
+        for r in sweep["points"]:
+            if r["classification"] == "violation":
+                print(f"VIOLATION {r['kind']}@event {r['event']}: "
+                      + "; ".join(r["violations"]))
+    return 1 if summary["violations"] else 0
+
+
 def cmd_campaign(args) -> int:
     import json
 
@@ -303,6 +344,9 @@ def cmd_campaign(args) -> int:
                 kwargs["seeds"] = args.seeds
             if args.spec == "smoke" and args.seeds is not None:
                 kwargs = {"cells": args.seeds}
+            if args.spec == "chaos" and args.seeds is not None:
+                # the chaos grid scales by injection points, not seeds
+                kwargs = {"points": args.seeds}
             spec = SPECS[args.spec](**kwargs)
         run = run_campaign(
             spec,
@@ -566,6 +610,26 @@ def main(argv: Optional[list] = None) -> int:
     faults.add_argument("--json", action="store_true",
                         help="one JSON summary per line instead of text")
     faults.set_defaults(fn=cmd_faults)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash-anywhere sweep: inject faults at every k-th event "
+             "and verify every run completes, recovers, or degrades",
+    )
+    chaos.add_argument("--ranks", type=int, default=4)
+    chaos.add_argument("--laps", type=int, default=6,
+                       help="token-ring laps per rank (workload length)")
+    chaos.add_argument("--points", type=int, default=25,
+                       help="injection events per fault kind")
+    chaos.add_argument("--kinds", default=None,
+                       help="comma-separated fault kinds "
+                            "(default kill_rank,oob_delay,blob_corrupt)")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--depth", type=int, default=2,
+                       help="cascade depth for crash_storm points")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the full sweep as one JSON document")
+    chaos.set_defaults(fn=cmd_chaos)
 
     camp = sub.add_parser(
         "campaign",

@@ -59,6 +59,13 @@ class Scheduler:
         self._events_run = 0
         self._max_events = max_events
         self._running = False
+        #: event-count watchpoints (chaos injection): sorted
+        #: ``(event_count, fn)`` pairs; ``fn()`` runs immediately before
+        #: the matching event is dispatched.  ``_watch_next`` caches the
+        #: nearest count so the hot loop pays one int compare per event
+        #: (and nothing at all semantically when no watch is armed).
+        self._watches: List[tuple] = []
+        self._watch_next = -1
         #: the trace-event spine: every layer above (network, MPI
         #: library, pipeline stages) emits through this tracer, stamped
         #: with the virtual clock.  Disabled (null sink) by default.
@@ -108,6 +115,34 @@ class Scheduler:
             self._fifo.append((fn, arg))
         else:
             heapq.heappush(self._queue, (t, next(self._seq), fn, arg))
+
+    # ------------------------------------------------------------------
+    # event watchpoints (crash-anywhere chaos injection)
+    # ------------------------------------------------------------------
+    def add_event_watch(self, n: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` when the ``n``-th event (1-based, counted across
+        the scheduler's lifetime) is about to be dispatched.
+
+        The chaos harness uses this to inject a fault at an exact event
+        index — deterministically, wherever that event falls: inside a
+        checkpoint commit, a recovery window, or a REEXEC replay."""
+        if n <= self._events_run:
+            raise SimulationError(
+                f"event watch at {n} is in the past "
+                f"({self._events_run} events already run)"
+            )
+        self._watches.append((n, fn))
+        self._watches.sort(key=lambda w: w[0])
+        self._watch_next = self._watches[0][0]
+
+    def _fire_watches(self, events: int) -> int:
+        """Run every watch armed for ``events``; returns the next armed
+        count (or -1, which no event counter ever equals again)."""
+        while self._watches and self._watches[0][0] == events:
+            _n, fn = self._watches.pop(0)
+            fn()
+        self._watch_next = self._watches[0][0] if self._watches else -1
+        return self._watch_next
 
     # ------------------------------------------------------------------
     # processes
@@ -262,6 +297,7 @@ class Scheduler:
         stop_t = float("inf") if until is None else until
         events = self._events_run
         max_events = self._max_events
+        watch_next = self._watch_next
         RUNNABLE = ProcState.RUNNABLE
         DONE = ProcState.DONE
         FAILED = ProcState.FAILED
@@ -296,6 +332,9 @@ class Scheduler:
                         f"exceeded max_events={self._max_events}; "
                         "likely a livelock in a polling loop"
                     )
+                if events == watch_next:
+                    self._events_run = events
+                    watch_next = self._fire_watches(events)
                 if item.__class__ is not Proc:
                     if arg is None:
                         item()
@@ -460,6 +499,8 @@ class ReferenceScheduler(Scheduler):
                         f"exceeded max_events={self._max_events}; "
                         "likely a livelock in a polling loop"
                     )
+                if self._events_run == self._watch_next:
+                    self._fire_watches(self._events_run)
                 fn()
         finally:
             self._running = False

@@ -70,6 +70,27 @@ class RecoveryError(RestartError):
     with ``record_replay`` so dead ranks cannot be re-executed)."""
 
 
+class JobLostError(RecoveryError):
+    """The job is terminally lost: automatic recovery exhausted its
+    retry budget (``ManaConfig.max_incarnations``) or no committed epoch
+    is recoverable on any storage tier.  This is the *graceful* end of
+    the degradation ladder — the session tears every process down,
+    appends a fully-accounted terminal record to
+    ``rt.recovery_records``, drains the event queue to zero, and then
+    raises this typed outcome from ``ManaSession.run()``.  It never
+    escapes through the DES loop mid-flight.
+
+    Subclasses :class:`RecoveryError` so callers that already treat an
+    unrecoverable job as an expected negative result (availability
+    campaign cells, survivability scenarios) keep working unchanged.
+    """
+
+    def __init__(self, message: str, record: "dict | None" = None):
+        super().__init__(message)
+        #: the terminal recovery record (also in ``rt.recovery_records``)
+        self.record = record or {}
+
+
 class DrainError(CheckpointError):
     """The point-to-point drain algorithm failed to settle the network."""
 

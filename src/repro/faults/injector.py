@@ -60,6 +60,14 @@ class FaultInjector:
                 if self._spend(i):
                     self.rt.store.arm_manifest_tear(spec.epoch)
                     self._record(i, spec, epoch=spec.epoch, armed=True)
+            elif spec.kind == "crash_storm":
+                for j in range(spec.count):
+                    sched.schedule_at(
+                        spec.at + j * spec.delay,
+                        self._make_storm_kill(i, spec, j),
+                    )
+        if self.schedule.by_kind("crash_during_recovery"):
+            self.session.recovery_phase_hooks.append(self._recovery_hook)
         if self.schedule.by_kind("oob_drop", "oob_delay"):
             self.session.oob.set_fault_filter(self._oob_filter)
         if self.schedule.by_kind("net_drop", "net_delay"):
@@ -103,6 +111,58 @@ class FaultInjector:
             self._record(i, spec, rank=spec.rank, killed=killed)
 
         return kill
+
+    def _kill_rank_now(self, i: int, spec: FaultSpec, rank: int,
+                       reason: str, **detail) -> None:
+        """Kill one rank's processes right now (shared by the storm and
+        recovery-window kinds; looks the rank up at fire time since
+        recovery may have replaced the ManaRank object)."""
+        mrank = self.rt.ranks[rank]
+        if mrank.finalized:
+            return
+        killed: List[str] = []
+        for label, proc in (("main", mrank.proc),
+                            ("ckpt_thread", mrank.ckpt_proc),
+                            ("heartbeat", mrank.hb_proc)):
+            if proc is not None and self.rt.sched.kill(proc, reason=reason):
+                killed.append(label)
+        self._record(i, spec, rank=rank, killed=killed, **detail)
+
+    def _make_storm_kill(self, i: int, spec: FaultSpec, j: int):
+        nranks = self.rt.nranks
+        victim = ((spec.rank or 0) + j) % nranks
+
+        def kill() -> None:
+            # storms deliberately share one budget entry of size count:
+            # each scheduled kill spends one unit
+            if self._budget[i] <= 0:
+                return
+            self._budget[i] -= 1
+            self._kill_rank_now(
+                i, spec, victim,
+                reason=f"fault: crash_storm victim {j}", storm_index=j,
+            )
+
+        return kill
+
+    def _recovery_hook(self, phase: str, ctx: dict) -> None:
+        """Fired by the orchestrator at every phase transition: lands
+        crash_during_recovery kills inside the recovery window itself."""
+        for i, spec in enumerate(self.schedule.specs):
+            if spec.kind != "crash_during_recovery":
+                continue
+            if self._budget[i] <= 0:
+                continue
+            want = spec.phase if spec.phase is not None else "replay"
+            if phase != want:
+                continue
+            self._spend(i)
+            self._kill_rank_now(
+                i, spec, spec.rank,
+                reason=f"fault: crash during recovery ({phase})",
+                phase=phase, attempt=ctx.get("attempt"),
+                incarnation=ctx.get("incarnation"),
+            )
 
     # ------------------------------------------------------------------
     # storage faults: damage goes through the store's public fault

@@ -25,7 +25,13 @@ KINDS = (
     "node_loss",      # a node dies: its ranks AND the copies it hosts
     "blob_corrupt",   # silently flip a byte in one stored image copy
     "manifest_torn",  # an epoch's manifest commit is a torn write
+    "crash_during_recovery",  # kill a rank inside the recovery window
+    "crash_storm",    # a cascade: several ranks die in quick succession
 )
+
+#: the recovery orchestrator's phases, in order (crash_during_recovery
+#: targets one of these via ``FaultSpec.phase``)
+RECOVERY_PHASES = ("select_epoch", "teardown", "rebuild", "replay", "resume")
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,15 @@ class FaultSpec:
     * ``manifest_torn``: epoch ``epoch``'s manifest write is torn at its
       commit point — the epoch's copies exist but are undiscoverable,
       so recovery must fall back past it.
+    * ``crash_during_recovery``: kill rank ``rank`` the next time the
+      recovery orchestrator enters phase ``phase`` (``select_epoch`` /
+      ``teardown`` / ``rebuild`` / ``replay`` / ``resume``; default
+      ``replay``), ``count`` times.  The kill lands on the freshly
+      rebuilt incarnation, exercising the cascade path.
+    * ``crash_storm``: starting at ``at``, kill ``count`` ranks spaced
+      ``delay`` virtual seconds apart (rank ``rank`` first, then
+      consecutive ranks modulo the world size) — failures compounding
+      faster than single-fault recovery assumes.
     """
 
     kind: str
@@ -74,6 +89,7 @@ class FaultSpec:
     frac: float = 0.5
     tier: Optional[str] = None
     node: Optional[int] = None
+    phase: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -99,6 +115,20 @@ class FaultSpec:
                 raise ValueError("blob_corrupt needs 'at' and 'rank'")
         if self.kind == "manifest_torn" and self.epoch is None:
             raise ValueError("manifest_torn needs 'epoch'")
+        if self.kind == "crash_during_recovery":
+            if self.rank is None:
+                raise ValueError("crash_during_recovery needs 'rank'")
+            phase = self.phase if self.phase is not None else "replay"
+            if phase not in RECOVERY_PHASES:
+                raise ValueError(
+                    f"crash_during_recovery 'phase' must be one of "
+                    f"{RECOVERY_PHASES}, not {phase!r}"
+                )
+        if self.kind == "crash_storm":
+            if self.at is None:
+                raise ValueError("crash_storm needs 'at'")
+            if self.delay <= 0:
+                raise ValueError("crash_storm needs a positive 'delay'")
         if self.count < 1:
             raise ValueError("'count' must be >= 1")
 
@@ -164,6 +194,16 @@ class FaultSchedule:
 
     def tear_manifest(self, epoch: int) -> "FaultSchedule":
         return self.add(FaultSpec(kind="manifest_torn", epoch=epoch))
+
+    def kill_during_recovery(self, rank: int, phase: str = "replay",
+                             count: int = 1) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="crash_during_recovery", rank=rank,
+                                  phase=phase, count=count))
+
+    def crash_storm(self, at: float, count: int = 2, delay: float = 1e-3,
+                    rank: int = 0) -> "FaultSchedule":
+        return self.add(FaultSpec(kind="crash_storm", at=at, count=count,
+                                  delay=delay, rank=rank))
 
     # -- seeded random builders ----------------------------------------
     def random_kill(self, nranks: int, t_min: float,

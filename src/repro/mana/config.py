@@ -168,6 +168,33 @@ class ManaConfig:
     #: bounded retry: give up (CheckpointError) after this many rounds
     twopc_max_retries: int = 8
     # ------------------------------------------------------------------
+    # recovery under fire (cascading failures, job-loss degradation)
+    # ------------------------------------------------------------------
+    #: rollback attempts within one recovery *episode* (a crash landing
+    #: mid-recovery restarts the episode for the union of dead ranks)
+    #: before the job is declared lost (:class:`~repro.errors.JobLostError`)
+    max_incarnations: int = 8
+    #: base backoff (virtual seconds) between consecutive rollback
+    #: attempts of one episode: attempt ``n`` waits
+    #: ``recovery_backoff * 2**(n-2)``.  0 disables (the default, which
+    #: keeps single-crash recovery timings bit-identical to older runs)
+    recovery_backoff: float = 0.0
+    #: per-attempt watchdog: virtual seconds one rollback attempt may
+    #: take (teardown through every rank's replay transition) before the
+    #: orchestrator declares the attempt wedged and rolls back again;
+    #: None disables the watchdog
+    recovery_deadline: Optional[float] = None
+    #: heartbeat suspicion window: probes retransmitted to a silent rank
+    #: before declaring it dead, so a delayed-but-alive heartbeat no
+    #: longer triggers a spurious whole-job rollback.  Each probe adds
+    #: one grace period of detection latency, so the default is 0 (the
+    #: legacy declare-on-first-silence behaviour, keeping existing
+    #: fault-scenario timings bit-identical); chaos/lossy-channel runs
+    #: should set 1
+    heartbeat_probes: int = 0
+    #: grace period per probe before escalating (None → heartbeat_timeout)
+    heartbeat_probe_grace: Optional[float] = None
+    # ------------------------------------------------------------------
     # checkpoint storage (tier placement + redundancy, repro.storage)
     # ------------------------------------------------------------------
     #: where checkpoint images physically live and what redundancy an

@@ -82,8 +82,17 @@ class Coordinator:
         self._hb_started = 0.0
         #: ranks declared dead (cleared when recovery reports them back)
         self.dead_ranks: Set[int] = set()
+        #: ranks under suspicion (silent past the timeout but not yet
+        #: declared dead): rank -> {"since", "probes", "deadline"}.  A
+        #: probe is retransmitted before declaring, so a delayed-but-
+        #: alive heartbeat no longer triggers a spurious rollback
+        self.suspects: Dict[int, dict] = {}
         #: one record per crash-detection event
         self.detections: List[dict] = []
+        #: set when the job is terminally lost: stops the heartbeat
+        #: timer chain and silences 2PC retry alarms so the event queue
+        #: can drain to zero
+        self.halted = False
         #: a recovery orchestrator is registered at RECOVERY_ID
         self.recovery_armed = False
         #: ranks whose burst-buffer write failed this epoch
@@ -118,13 +127,18 @@ class Coordinator:
             elif kind == "ckpt_failed":
                 self._on_ckpt_failed(rank=msg[1], info=msg[2])
             elif kind == "heartbeat":
-                self.last_heartbeat[msg[1]] = self.rt.sched.now
+                self._on_heartbeat(
+                    rank=msg[1],
+                    incarnation=msg[2] if len(msg) > 2 else None,
+                )
             elif kind == "hb_check":
                 self._on_hb_check()
             elif kind == "twopc_timeout":
                 self._on_twopc_timeout(serial=msg[1], retries=msg[2])
             elif kind == "recovered":
                 self._on_recovered(ranks=msg[1])
+            elif kind == "rebuilt":
+                self._on_rebuilt(ranks=msg[1])
             else:
                 raise CheckpointError(f"coordinator: unknown message {msg!r}")
 
@@ -165,6 +179,8 @@ class Coordinator:
         return silent - self.dead_ranks
 
     def _on_twopc_timeout(self, serial: int, retries: int) -> None:
+        if self.halted:
+            return  # job lost: no phase will ever advance again
         if serial != self._phase_serial or self.phase == "idle":
             return  # the phase advanced; this alarm is stale
         silent = self._silent_ranks()
@@ -221,32 +237,93 @@ class Coordinator:
             interval, lambda: self.mailbox.put(("hb_check",))
         )
 
+    def _on_heartbeat(self, rank: int, incarnation: "int | None" = None) -> None:
+        if incarnation is not None and incarnation < self.rt.incarnation:
+            return  # in-flight beat from a torn-down incarnation: stale
+        self.last_heartbeat[rank] = self.rt.sched.now
+        tr = self.rt.sched.tracer
+        if self.suspects.pop(rank, None) is not None:
+            if tr.enabled:
+                tr.emit("recovery", "suspicion_cleared", rank=rank)
+        if rank in self.dead_ranks:
+            # a rank declared dead is beating again: recovery rebuilt it.
+            # Resume monitoring so a *re*-kill of the fresh incarnation
+            # (a cascade landing mid-recovery) is detected, not ignored.
+            self.dead_ranks.discard(rank)
+            if tr.enabled:
+                tr.emit("recovery", "rank_rejoined", rank=rank,
+                        incarnation=incarnation)
+
     def _on_hb_check(self) -> None:
         rt = self.rt
+        if self.halted:
+            return  # job lost: let the timer chain end
         if all(m.finalized for m in rt.ranks):
             return  # computation over: let the timer chain end
         now = rt.sched.now
-        timeout = rt.cfg.heartbeat_timeout
-        dead = [
-            m.rank
-            for m in rt.ranks
-            if m.rank not in self.dead_ranks
-            and not m.finalized
-            and now - self.last_heartbeat.get(m.rank, self._hb_started)
-            > timeout
-        ]
+        cfg = rt.cfg
+        timeout = cfg.heartbeat_timeout
+        probes = cfg.heartbeat_probes
+        grace = (cfg.heartbeat_probe_grace
+                 if cfg.heartbeat_probe_grace is not None else timeout)
+        tr = rt.sched.tracer
+        dead = []
+        for m in rt.ranks:
+            if m.rank in self.dead_ranks or m.finalized:
+                continue
+            silent = now - self.last_heartbeat.get(m.rank, self._hb_started)
+            if silent <= timeout:
+                continue
+            if probes <= 0:
+                dead.append(m.rank)  # legacy: declare on first silence
+                continue
+            sus = self.suspects.get(m.rank)
+            if sus is None:
+                # suspicion window: probe before declaring — the silence
+                # may be a delayed OOB message, not a death
+                self.suspects[m.rank] = {
+                    "since": now, "probes": 1, "deadline": now + grace,
+                }
+                self._send_probe(m.rank)
+                if tr.enabled:
+                    tr.emit("recovery", "rank_suspected", rank=m.rank,
+                            silent=silent)
+            elif now >= sus["deadline"]:
+                if sus["probes"] < probes:
+                    sus["probes"] += 1
+                    sus["deadline"] = now + grace
+                    self._send_probe(m.rank)
+                    if tr.enabled:
+                        tr.emit("recovery", "hb_probe_retransmit",
+                                rank=m.rank, probe=sus["probes"])
+                else:
+                    dead.append(m.rank)
         self._arm_hb_check()
         if dead:
+            for r in dead:
+                self.suspects.pop(r, None)
             self._on_ranks_dead(dead)
 
+    def _send_probe(self, rank: int) -> None:
+        """Ask a suspected rank's checkpoint thread to re-beat now."""
+        self.rt.oob.send(rank, ("hb_probe",))
+
     def _on_ranks_dead(self, dead: List[int]) -> None:
+        if self.halted:
+            return  # job already lost; nothing left to recover
         now = self.rt.sched.now
         self.dead_ranks.update(dead)
+        for r in dead:
+            self.suspects.pop(r, None)
         detection = {
             "ranks": list(dead),
             "detected_at": now,
             "phase": self.phase,
             "epoch": self.epoch,
+            # stamps which incarnation the detection was made against, so
+            # the recovery orchestrator can discard notifications that
+            # raced with a completed teardown/rebuild
+            "incarnation": self.rt.incarnation,
         }
         self.detections.append(detection)
         tr = self.rt.sched.tracer
@@ -288,9 +365,21 @@ class Coordinator:
             )
         self.rt.oob.send(RECOVERY_ID, ("crash", list(dead), detection))
 
+    def _on_rebuilt(self, ranks: List[int]) -> None:
+        """Recovery rebuilt a fresh incarnation and is awaiting its
+        replay.  Hand liveness monitoring back immediately — a cascade
+        kill landing on the fresh ranks *during* the replay window must
+        be detected and reported, not ignored as already-dead."""
+        self.dead_ranks.clear()
+        self.suspects.clear()
+        now = self.rt.sched.now
+        for m in self.rt.ranks:
+            self.last_heartbeat[m.rank] = now
+
     def _on_recovered(self, ranks: List[int]) -> None:
         """Recovery finished: the job is whole again (new incarnation)."""
         self.dead_ranks.clear()
+        self.suspects.clear()
         now = self.rt.sched.now
         for m in self.rt.ranks:
             self.last_heartbeat[m.rank] = now
@@ -308,6 +397,25 @@ class Coordinator:
     # protocol steps
     # ------------------------------------------------------------------
     def _on_ckpt_request(self, action: str, requester: int) -> None:
+        if self.halted:
+            # job lost: answer so an external requester does not wedge
+            self.records.append(
+                {"epoch": self.epoch + 1, "skipped": True,
+                 "job_lost": True, "requested_at": self.rt.sched.now}
+            )
+            self.rt.oob.send(requester, ("cycle_complete", dict(self.records[-1])))
+            return
+        if self.dead_ranks:
+            # a recovery is in flight (phased recovery spans virtual
+            # time); starting a 2PC against ranks mid-rebuild would only
+            # wedge it.  Defer: answer now, the requester retries later.
+            self.records.append(
+                {"epoch": self.epoch + 1, "deferred": True,
+                 "reason": "recovery_in_progress",
+                 "requested_at": self.rt.sched.now}
+            )
+            self.rt.oob.send(requester, ("cycle_complete", dict(self.records[-1])))
+            return
         if self.phase != "idle":
             raise CheckpointError("checkpoint requested while one is in progress")
         if self.finalize_granted:

@@ -23,6 +23,7 @@ from repro.mana.replay import RECORDED_OPS, ReplayLog
 from repro.mana.requests import NullMark, VReqKind
 from repro.mana.runtime import ManaRank
 from repro.mana.wrappers import ManaApi
+from repro.simnet.oob import RECOVERY_ID
 
 
 def build_recording_api(mrank: ManaRank, log: ReplayLog) -> ManaApi:
@@ -254,6 +255,11 @@ def reexec_transition(api: ManaApi):
         "wall_stamp": _time.perf_counter(),
     })
     api.replay_log.replaying = False
+    if getattr(mrank, "_notify_recovery", False):
+        # crash recovery is waiting on this transition: tell the
+        # orchestrator this incarnation of the rank is back and live
+        mrank._notify_recovery = False
+        rt.oob.send(RECOVERY_ID, ("replay_done", mrank.rank, rt.incarnation))
 
 
 # register the communicator-handle codec into the op table (deferred to

@@ -15,7 +15,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.des.scheduler import Scheduler
 from repro.des.syscalls import Advance
-from repro.errors import CheckpointError, HaltSignal, RecoveryError
+from repro.errors import (
+    CheckpointError,
+    HaltSignal,
+    JobLostError,
+    RecoveryError,
+)
 from repro.hosts.machine import MachineSpec
 from repro.hosts.presets import TESTBOX
 from repro.mana.api import NativeApi
@@ -173,6 +178,19 @@ class ManaSession:
         #: main process per rank (rebuilt in place by crash recovery)
         self._procs: List[Any] = []
         self.recovery: Optional[RecoveryOrchestrator] = None
+        #: auxiliary self-scheduling processes (controllers, monitors)
+        #: that must be torn down when the job is terminally lost, or
+        #: they would generate events forever and the queue never drains
+        self._aux_procs: List[Any] = []
+        #: callbacks fired at every recovery phase transition:
+        #: ``hook(phase, ctx)`` with phase in select_epoch | teardown |
+        #: rebuild | replay | resume and ctx carrying attempt /
+        #: incarnation / dead ranks.  The chaos harness injects faults
+        #: *inside* the recovery window through these.
+        self.recovery_phase_hooks: List[Callable[[str, dict], None]] = []
+        #: set by the orchestrator's graceful-degradation path; makes
+        #: ``run()`` raise a typed JobLostError after the queue drains
+        self._job_lost_record: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def _spawn_rank(self, mrank: ManaRank, reexec_payload=None):
@@ -187,6 +205,11 @@ class ManaSession:
             from repro.mana.replay import ReplayLog
 
             if reexec_payload is not None:
+                # crash recovery wants a ("replay_done", rank, incarnation)
+                # notification when the reexec transition completes
+                mrank._notify_recovery = bool(
+                    reexec_payload.get("notify_recovery")
+                )
                 mrank._reexec_image = reexec_payload["state"]
                 mrank._reexec_nbytes = reexec_payload["nbytes"]
                 # crash recovery supplies the tier-accurate image read
@@ -280,6 +303,7 @@ class ManaSession:
                     self._controller_records.append(reply[1])
 
             ctrl_proc = self.sched.spawn(controller(), "controller", daemon=True)
+            self._aux_procs.append(ctrl_proc)
         return procs
 
     # ------------------------------------------------------------------
@@ -308,13 +332,25 @@ class ManaSession:
             self.deadlock_monitor = DeadlockMonitor(
                 self.rt, interval=deadlock_monitor
             )
-            self.sched.spawn(
+            self._aux_procs.append(self.sched.spawn(
                 self.deadlock_monitor.body(), "deadlock-monitor", daemon=True
-            )
+            ))
         try:
             self.sched.run(until=until)
         finally:
             self.sched.tracer.close()  # flush any attached trace sink
+        if self._job_lost_record is not None:
+            # the queue drained to zero and every process was torn down;
+            # surface the terminal outcome as a typed exception carrying
+            # the fully-accounted record (also in rt.recovery_records)
+            rec = self._job_lost_record
+            msg = (
+                f"job lost after {rec['attempts']} rollback attempt(s): "
+                f"{rec['reason']}"
+            )
+            if rec.get("error"):
+                msg += f" — {rec['error']}"
+            raise JobLostError(msg, record=rec)
         if until is None:
             unfinished = self.sched.unfinished()
             if unfinished:
@@ -364,6 +400,7 @@ class ManaSession:
                     return  # the computation ended; stop the loop
 
         proc = self.sched.spawn(body(), "interval-controller", daemon=True)
+        self._aux_procs.append(proc)
 
     # ------------------------------------------------------------------
     # REEXEC: save a halted computation's images; resume from them
@@ -416,6 +453,19 @@ class RecoveryOrchestrator:
     restart mode, driven automatically instead of by a new session.
     Work since the durable epoch is lost and accounted in
     ``rt.recovery_records``.
+
+    Recovery is an interruptible state machine, not a one-shot call:
+    each attempt walks explicit phases (select-epoch → teardown →
+    rebuild → replay → resume) and a crash notification landing
+    mid-recovery restarts the attempt for the *union* of dead ranks.
+    Attempts are bounded by ``cfg.max_incarnations`` with exponential
+    backoff (``cfg.recovery_backoff``) and a per-attempt watchdog
+    (``cfg.recovery_deadline``).  When the budget is exhausted — or no
+    committed epoch is recoverable — the job ends in the graceful
+    degradation path: every process is torn down, a terminal record is
+    appended, the event queue drains to zero, and ``ManaSession.run()``
+    raises a typed :class:`~repro.errors.JobLostError`.  Never a hang,
+    never an unhandled exception through the DES loop.
     """
 
     def __init__(self, session: ManaSession):
@@ -423,15 +473,55 @@ class RecoveryOrchestrator:
         self.rt = session.rt
         self.mailbox = session.oob.register(RECOVERY_ID)
         self.proc = None  # set by the session at spawn
+        #: invalidates replay_done/watchdog messages from older attempts
+        self._replay_serial = 0
 
     def run(self):
         while True:
             msg = yield from self.mailbox.get(self.proc)
-            if msg[0] != "crash":
+            kind = msg[0]
+            if kind == "crash":
+                genuine = self._genuine_dead(dead=msg[1], detection=msg[2])
+                if not genuine:
+                    continue
+                status = yield from self._recover_until_stable(
+                    set(genuine), msg[2]
+                )
+                if status == "lost":
+                    return  # the job is over; retire the daemon
+            elif kind in ("replay_done", "recovery_deadline"):
+                pass  # straggler notification from a finished recovery
+            else:
                 raise RecoveryError(
                     f"recovery orchestrator: unexpected message {msg!r}"
                 )
-            self._recover(dead=msg[1], detection=msg[2])
+
+    # ------------------------------------------------------------------
+    def _genuine_dead(self, dead, detection: dict) -> List[int]:
+        """Dedupe by incarnation: a crash notification that raced with a
+        completed recovery names ranks of a torn-down incarnation.  If
+        every named rank's *current* process is alive, the notification
+        is wholly stale — acknowledge it so the coordinator resumes
+        monitoring, and do not roll back.  Ranks that really are dead
+        (whatever incarnation the detector saw) are always genuine."""
+        rt = self.rt
+        if detection.get("incarnation", rt.incarnation) >= rt.incarnation:
+            return list(dead)
+        actually_dead = [
+            r for r in dead
+            if rt.ranks[r].proc is None or not rt.ranks[r].proc.alive
+        ]
+        if actually_dead:
+            return actually_dead
+        tracer = rt.sched.tracer
+        if tracer.enabled:
+            tracer.emit(
+                "recovery", "stale_crash_ignored", ranks=list(dead),
+                detector_incarnation=detection.get("incarnation"),
+                incarnation=rt.incarnation,
+            )
+        self.session.oob.send(COORDINATOR_ID, ("recovered", list(dead)))
+        return []
 
     # ------------------------------------------------------------------
     def _select_epoch(self, dead: List[int]):
@@ -476,45 +566,159 @@ class RecoveryOrchestrator:
         )
 
     # ------------------------------------------------------------------
-    def _recover(self, dead: List[int], detection: dict) -> None:
+    def _enter_phase(self, phase: str, attempt: int, union: set) -> None:
+        """Mark a recovery phase transition: trace it and fire the
+        session's phase hooks (the chaos harness injects faults *inside*
+        the recovery window through these)."""
+        ctx = {
+            "attempt": attempt,
+            "incarnation": self.rt.incarnation,
+            "ranks": sorted(union),
+        }
+        tracer = self.rt.sched.tracer
+        if tracer.enabled:
+            tracer.emit("recovery", "phase", phase=phase, **ctx)
+        for hook in list(self.session.recovery_phase_hooks):
+            hook(phase, ctx)
+
+    def _drain_crashes(self, union: set) -> None:
+        """Merge any crash notifications queued while we slept."""
+        while True:
+            msg = self.mailbox.try_get()
+            if msg is None:
+                return
+            if msg[0] == "crash":
+                union.update(msg[1])
+
+    # ------------------------------------------------------------------
+    def _recover_until_stable(self, union: set, detection: dict):
+        """Run rollback attempts until the job is stable or lost.
+
+        One *episode* covers one contiguous stretch of instability: it
+        starts at the first genuine crash notification and ends either
+        with every rank past its replay ("recovered", one record) or in
+        the graceful job-lost path.  A cascade — a new crash landing
+        mid-attempt — merges its ranks into ``union`` and starts the
+        next attempt; it never nests a second recovery.
+        """
+        rt, session = self.rt, self.session
+        sched = rt.sched
+        cfg = rt.cfg
+        tracer = sched.tracer
+        if session.recovery is not self:
+            raise RecoveryError("orchestrator used outside its session")
+        episode_start = sched.now
+        attempts = 0
+        total_fallbacks = 0
+        while True:
+            attempts += 1
+            if attempts > cfg.max_incarnations:
+                self._job_lost(
+                    "max_incarnations", union, detection, attempts - 1
+                )
+                return "lost"
+            if attempts >= 2 and cfg.recovery_backoff > 0.0:
+                delay = cfg.recovery_backoff * (2.0 ** (attempts - 2))
+                if tracer.enabled:
+                    tracer.emit("recovery", "backoff", attempt=attempts,
+                                delay=delay)
+                yield Advance(delay)
+                self._drain_crashes(union)
+
+            # ---- phase: select-epoch -----------------------------------
+            self._enter_phase("select_epoch", attempts, union)
+            try:
+                epoch, results, wasted, fallbacks = self._select_epoch(
+                    sorted(union)
+                )
+            except RecoveryError as exc:
+                self._job_lost("no_recoverable_epoch", union, detection,
+                               attempts, error=str(exc))
+                return "lost"
+            total_fallbacks += fallbacks
+            if tracer.enabled:
+                tracer.emit("recovery", "recovery_start",
+                            ranks=sorted(union), epoch=epoch,
+                            attempt=attempts,
+                            incarnation=rt.incarnation + 1)
+
+            # ---- phase: teardown ---------------------------------------
+            # kill every surviving process of the old incarnation: the
+            # job is restarted whole (srun relaunch), survivors included;
+            # then replace the lower half — in-flight traffic of the old
+            # incarnation is lost with it
+            self._enter_phase("teardown", attempts, union)
+            for m in rt.ranks:
+                for p in (m.proc, m.ckpt_proc, m.hb_proc):
+                    if p is not None:
+                        sched.kill(p, reason=f"recovery to epoch {epoch}")
+            teardown = rt.crash_teardown()
+
+            # ---- phase: rebuild ----------------------------------------
+            self._enter_phase("rebuild", attempts, union)
+            work_lost = episode_start - max(
+                res.meta["taken_at"] for res in results.values()
+            )
+            sources = {r: res.source for r, res in results.items()}
+            self._rebuild_ranks(epoch, results, wasted)
+            # hand liveness monitoring of the fresh incarnation back to
+            # the coordinator right away, so a kill landing mid-replay is
+            # detected as a cascade instead of ignored as already-dead
+            session.oob.send(COORDINATOR_ID, ("rebuilt", sorted(union)))
+
+            # ---- phase: replay -----------------------------------------
+            # the fresh incarnation replays its way back to the durable
+            # epoch; a cascade crash or watchdog expiry restarts the loop
+            # (the next teardown clears whatever was left mid-replay)
+            self._enter_phase("replay", attempts, union)
+            status, new_dead = yield from self._await_replay()
+            if status == "crash":
+                union.update(new_dead)
+                if tracer.enabled:
+                    tracer.emit("recovery", "cascade_crash",
+                                ranks=sorted(new_dead), attempt=attempts,
+                                union=sorted(union))
+                continue
+            if status == "deadline":
+                continue
+
+            # ---- phase: resume -----------------------------------------
+            self._enter_phase("resume", attempts, union)
+            rt.recovery_records.append(
+                {
+                    "dead_ranks": sorted(union),
+                    "epoch": epoch,
+                    "incarnation": rt.incarnation,
+                    "attempts": attempts,
+                    "detected_at": detection.get("detected_at",
+                                                 episode_start),
+                    "recovered_at": sched.now,
+                    "work_lost": work_lost,
+                    "epoch_fallbacks": total_fallbacks,
+                    "storage_sources": sources,
+                    "helpers_killed": teardown["helpers_killed"],
+                    "msgs_purged": teardown["msgs_purged"],
+                }
+            )
+            if tracer.enabled:
+                tracer.emit("recovery", "recovery_done",
+                            ranks=sorted(union), epoch=epoch,
+                            work_lost=work_lost, attempts=attempts,
+                            fallbacks=total_fallbacks)
+            session.oob.send(COORDINATOR_ID, ("recovered", sorted(union)))
+            return "recovered"
+
+    # ------------------------------------------------------------------
+    def _rebuild_ranks(self, epoch: int, results: dict, wasted: dict) -> None:
+        """Fresh upper halves: new ManaRank per rank, staged to replay
+        its recorded history back to the durable epoch.  Each rank's
+        image is rebuilt from the *verified* recovered bytes, and the
+        tier-accurate read cost rides along so the reexec transition
+        charges it in virtual time."""
         from repro.mana.checkpoint import CheckpointImage
         from repro.util.hashing import stable_hash
 
         rt, session = self.rt, self.session
-        sched = rt.sched
-        started = sched.now
-        if session.recovery is not self:
-            raise RecoveryError("orchestrator used outside its session")
-
-        # 0. pick the newest fully-recoverable durable epoch (the
-        #    degraded-recovery ladder: verified primary → replica/parity
-        #    rebuild → older epoch)
-        epoch, results, wasted, fallbacks = self._select_epoch(dead)
-        tracer = sched.tracer
-        if tracer.enabled:
-            tracer.emit("recovery", "recovery_start", ranks=list(dead),
-                        epoch=epoch, incarnation=rt.incarnation + 1)
-
-        # 1. kill every surviving process of the old incarnation: the
-        #    job is restarted whole (srun relaunch), survivors included
-        for m in rt.ranks:
-            for p in (m.proc, m.ckpt_proc, m.hb_proc):
-                if p is not None:
-                    sched.kill(p, reason=f"recovery to epoch {epoch}")
-
-        # 2. replace the lower half; in-flight traffic of the old
-        #    incarnation is lost with it
-        teardown = rt.crash_teardown()
-
-        # 3. fresh upper halves: new ManaRank per rank, staged to replay
-        #    its recorded history back to the durable epoch.  Each rank's
-        #    image is rebuilt from the *verified* recovered bytes, and
-        #    the tier-accurate read cost rides along so the reexec
-        #    transition charges it in virtual time.
-        work_lost = started - max(
-            res.meta["taken_at"] for res in results.values()
-        )
-        sources = {r: res.source for r, res in results.items()}
         for old in list(rt.ranks):
             res = results[old.rank]
             img = CheckpointImage(
@@ -541,28 +745,94 @@ class RecoveryOrchestrator:
                     "state": img.payload(),
                     "nbytes": img.nbytes,
                     "read_time": res.read_time + wasted[old.rank],
+                    "notify_recovery": True,
                 },
             )
 
-        rt.recovery_records.append(
-            {
-                "dead_ranks": list(dead),
-                "epoch": epoch,
-                "incarnation": rt.incarnation,
-                "detected_at": detection.get("detected_at", started),
-                "recovered_at": sched.now,
-                "work_lost": work_lost,
-                "epoch_fallbacks": fallbacks,
-                "storage_sources": sources,
-                "helpers_killed": teardown["helpers_killed"],
-                "msgs_purged": teardown["msgs_purged"],
-            }
-        )
+    # ------------------------------------------------------------------
+    def _await_replay(self):
+        """Park until every fresh rank reports its reexec transition
+        complete, a cascade crash lands, or the watchdog expires.
+
+        Returns ``("stable", set())``, ``("crash", {ranks})``, or
+        ``("deadline", set())``.  Messages from older attempts (stale
+        replay_done, expired watchdogs, crash reports against torn-down
+        incarnations whose ranks are all alive again) are discarded.
+        """
+        rt = self.rt
+        sched = rt.sched
+        cfg = rt.cfg
+        self._replay_serial += 1
+        serial = self._replay_serial
+        incarnation = rt.incarnation
+        if cfg.recovery_deadline is not None:
+            sched.schedule(
+                cfg.recovery_deadline,
+                lambda: self.mailbox.put(("recovery_deadline", serial)),
+            )
+        pending = set(range(rt.nranks))
+        while pending:
+            msg = yield from self.mailbox.get(self.proc)
+            kind = msg[0]
+            if kind == "replay_done":
+                if msg[2] == incarnation:
+                    pending.discard(msg[1])
+            elif kind == "recovery_deadline":
+                if msg[1] == serial:
+                    tracer = sched.tracer
+                    if tracer.enabled:
+                        tracer.emit("recovery", "watchdog_expired",
+                                    serial=serial, incarnation=incarnation,
+                                    still_pending=sorted(pending))
+                    return "deadline", set()
+            elif kind == "crash":
+                genuine = self._genuine_dead(dead=msg[1], detection=msg[2])
+                if genuine:
+                    return "crash", set(genuine)
+            else:
+                raise RecoveryError(
+                    f"recovery orchestrator: unexpected message {msg!r}"
+                )
+        return "stable", set()
+
+    # ------------------------------------------------------------------
+    def _job_lost(self, reason: str, union: set, detection: dict,
+                  attempts: int, error: Optional[str] = None) -> None:
+        """Graceful degradation: the job cannot be brought back.  Tear
+        every process down, halt the coordinator's timer chains so the
+        event queue drains to zero, and record the fully-accounted
+        terminal outcome — ``ManaSession.run()`` raises it as a typed
+        :class:`~repro.errors.JobLostError` once the scheduler returns."""
+        rt, session = self.rt, self.session
+        sched = rt.sched
+        now = sched.now
+        for m in rt.ranks:
+            for p in (m.proc, m.ckpt_proc, m.hb_proc):
+                if p is not None:
+                    sched.kill(p, reason="job lost")
+        for p in session._aux_procs:
+            sched.kill(p, reason="job lost")
+        session.coordinator.halted = True
+        record = {
+            "job_lost": True,
+            "reason": reason,
+            "error": error,
+            "dead_ranks": sorted(union),
+            "attempts": attempts,
+            "incarnation": rt.incarnation,
+            "detected_at": detection.get("detected_at", now),
+            "lost_at": now,
+            # nothing will ever be resumed: the whole run's work is gone
+            "work_lost": now,
+            "durable_epochs": list(rt.store.committed_epochs()),
+        }
+        rt.recovery_records.append(record)
+        tracer = sched.tracer
         if tracer.enabled:
-            tracer.emit("recovery", "recovery_done", ranks=list(dead),
-                        epoch=epoch, work_lost=work_lost,
-                        fallbacks=fallbacks)
-        session.oob.send(COORDINATOR_ID, ("recovered", list(dead)))
+            tracer.emit("recovery", "job_lost", reason=reason,
+                        ranks=sorted(union), attempts=attempts,
+                        error=error)
+        session._job_lost_record = record
 
 
 def resume_from_checkpoint(

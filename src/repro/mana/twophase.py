@@ -31,7 +31,12 @@ def heartbeat_body(mrank: ManaRank):
         yield Advance(interval)
         if mrank.finalized:
             return
-        mrank.rt.oob.send(COORDINATOR_ID, ("heartbeat", mrank.rank))
+        # stamped with the incarnation so a beat still in flight when a
+        # recovery tears this incarnation down is discarded as stale
+        mrank.rt.oob.send(
+            COORDINATOR_ID,
+            ("heartbeat", mrank.rank, mrank.rt.incarnation),
+        )
 
 
 def ckpt_thread_body(mrank: ManaRank):
@@ -107,6 +112,13 @@ def ckpt_thread_body(mrank: ManaRank):
         elif kind == "finalize_retry":
             if mrank.awaiting_directive:
                 mrank.deliver_directive(("finalize_retry",))
+        elif kind == "hb_probe":
+            # the coordinator suspects us dead (our beacon was delayed or
+            # dropped); answer immediately to clear the suspicion
+            mrank.rt.oob.send(
+                COORDINATOR_ID,
+                ("heartbeat", mrank.rank, mrank.rt.incarnation),
+            )
         else:
             raise CheckpointError(
                 f"rank {mrank.rank} checkpoint thread: unknown message {msg!r}"

@@ -1,0 +1,108 @@
+"""The crash-anywhere chaos harness and its campaign acceptance.
+
+* a fault-free run passes :func:`verify_run` clean;
+* a small inline sweep across every fault kind produces zero invariant
+  violations — every injection point ends completed, recovered, or
+  typed-job-lost;
+* the sweep is deterministic: same seed, bit-identical classifications
+  and virtual times;
+* the acceptance campaign — 100 injection points × 3 fault kinds = 300
+  cells through the crash-isolated campaign runner — finishes with
+  every cell ``ok`` or ``lost`` (work-lost accounted), zero failures.
+"""
+
+import pytest
+
+from repro.faults import chaos
+from repro.faults.chaos import (
+    CHAOS_KINDS,
+    chaos_golden,
+    run_chaos_point,
+    run_chaos_sweep,
+    verify_run,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return chaos_golden()
+
+
+def test_fault_free_run_verifies_clean(golden):
+    sess = chaos._session(golden["nranks"], golden["laps"])
+    out = sess.run(checkpoint_interval=golden["interval"])
+    assert verify_run(sess, out, golden["expected"], lost=False) == []
+    assert out.results == golden["expected"]
+
+
+def test_unknown_kind_rejected(golden):
+    with pytest.raises(ValueError, match="unknown chaos kind"):
+        run_chaos_point("meteor_strike", 10, golden=golden)
+
+
+def test_every_kind_sweeps_clean():
+    """The core tentpole invariant, across ALL fault kinds: every
+    injection point ends in exactly one accounted outcome."""
+    sweep = run_chaos_sweep(kinds=CHAOS_KINDS, points=6)
+    summary = sweep["summary"]
+    assert summary["violations"] == 0
+    assert summary["total"] == len(CHAOS_KINDS) * 6
+    for point in sweep["points"]:
+        assert point["classification"] in ("completed", "recovered", "lost")
+        if point["classification"] == "lost":
+            # typed, accounted degradation — never silent
+            assert point["error"]
+            assert point["work_lost"] >= 0.0
+        if point["classification"] == "recovered":
+            assert point["recoveries"] >= 1
+            assert point["mttr"] is not None and point["mttr"] > 0.0
+
+
+def test_storm_victims_merge_into_fewer_episodes(golden):
+    """Depth-3 storms with gaps below the detection latency fold their
+    victims into a shared detection: some surviving point recovers all
+    three kills in fewer than three episodes (the union-merge path).
+    The guaranteed *mid-replay* cascade — a kill on the rebuilt
+    incarnation before its replay completes — is pinned down
+    deterministically in test_recovery_under_fire."""
+    sweep = run_chaos_sweep(kinds=("crash_storm",), points=10, depth=3)
+    assert sweep["summary"]["violations"] == 0
+    recovered = [p for p in sweep["points"]
+                 if p["classification"] == "recovered"]
+    assert recovered
+    assert any(p["recoveries"] < 3 for p in recovered)
+    # every episode is accounted: attempts ≥ one per recovery record
+    assert all(p["attempts"] >= p["recoveries"] for p in recovered)
+
+
+def test_sweep_is_deterministic():
+    a = run_chaos_sweep(kinds=("kill_rank", "oob_delay"), points=5)
+    b = run_chaos_sweep(kinds=("kill_rank", "oob_delay"), points=5)
+    assert a == b  # classifications, virtual times, records — everything
+
+
+def test_chaos_campaign_acceptance(tmp_path):
+    """300 injection points × 3 fault kinds through the campaign
+    runner: zero hangs, zero unhandled exceptions, zero silently-wrong
+    results; every cell classified ok (completed/recovered) or lost."""
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import spec_chaos
+    from repro.campaign.store import CampaignStore
+
+    spec = spec_chaos(points=100)
+    assert len(spec.cells()) == 300
+    run = run_campaign(spec, tmp_path)
+    assert run.total == 300
+    assert run.failed_cells == 0, run.counts
+    assert set(run.counts) <= {"ok", "lost"}
+    records = CampaignStore(tmp_path).records()
+    assert len(records) == 300
+    for rec in records.values():
+        if rec["status"] == "ok":
+            assert rec["result"]["classification"] in ("completed",
+                                                       "recovered")
+        else:
+            assert rec["status"] == "lost"
+            assert rec["result"]["classification"] == "lost"
+            assert rec["result"]["work_lost"] >= 0.0
+            assert "job lost" in rec["error"]

@@ -1,0 +1,312 @@
+"""Recovery under fire: cascades, suspicion, and graceful job loss.
+
+The phased recovery orchestrator's acceptance tests:
+
+* a second kill landing one scheduler event after the first is merged
+  into the same detection/recovery — never processed against stale
+  rank objects (the incarnation-dedupe regression);
+* a kill landing on the freshly rebuilt incarnation *inside* the
+  replay window cascades: the recovery restarts for the union of dead
+  ranks and the single episode record says ``attempts == 2``;
+* delayed-but-alive heartbeats (``oob_delay``) do not trigger a
+  rollback when the suspicion window is armed (``heartbeat_probes=1``),
+  while the legacy declare-on-first-silence mode rolls back;
+* a crash with nothing durable to roll back to — or a recovery budget
+  exhausted by repeated cascades — ends in the typed
+  :class:`JobLostError` with a fully-accounted terminal record and a
+  drained event queue, never a hang;
+* storage damage landing inside the recovery window (tier lost between
+  the epoch probe and the rebuild; the recovered epoch's blob
+  corrupted) falls back — or job-loses — deterministically: the same
+  seed produces bit-identical virtual times.
+"""
+
+import pytest
+
+from repro.apps.micro import TokenRing
+from repro.errors import JobLostError, RecoveryError
+from repro.faults import FaultInjector, FaultSchedule
+from repro.hosts import TESTBOX_MN
+from repro.mana import ManaConfig, ManaSession
+from repro.storage import StoragePolicy
+
+
+def _ring(nranks: int, laps: int = 10):
+    factory = lambda r: TokenRing(r, laps=laps, compute_s=2e-3)  # noqa: E731
+    expected = [TokenRing.expected(r, nranks, laps) for r in range(nranks)]
+    return factory, expected
+
+
+def _cfg(**kw):
+    return ManaConfig.fault_tolerant().but(
+        storage=StoragePolicy.ladder(), **kw
+    )
+
+
+def _calibrate(nranks: int = 4, laps: int = 10, cfg=None):
+    """Fault-free reference under periodic checkpoints: returns
+    (interval, first_commit_time, elapsed)."""
+    factory, expected = _ring(nranks, laps)
+    cfg = cfg or _cfg()
+    ref = ManaSession(nranks, factory, TESTBOX_MN, cfg).run()
+    assert ref.results == expected
+    interval = ref.elapsed / 3.0
+    base = ManaSession(nranks, factory, TESTBOX_MN, cfg).run(
+        checkpoint_interval=interval
+    )
+    first = next(r["completed_at"] for r in base.checkpoints
+                 if not r.get("aborted") and not r.get("skipped"))
+    return interval, first, base.elapsed
+
+
+# ----------------------------------------------------------------------
+# cascade merging
+# ----------------------------------------------------------------------
+
+def test_two_kills_one_event_apart_merge_into_one_recovery():
+    """The stale-notification regression: rank 1 dies one scheduler
+    event after rank 0.  Whatever interleaving of detections results,
+    recovery must never act on a torn-down incarnation's rank objects —
+    the job completes correctly with both ranks accounted dead."""
+    nranks = 4
+    factory, expected = _ring(nranks)
+    interval, first, elapsed = _calibrate(nranks)
+    # find the event index just after the first commit: a probe run with
+    # a watch ladder maps event index → virtual time (the hot loop only
+    # syncs the public counters at watch boundaries, so watches are the
+    # one mid-run vantage point with an exact event count)
+    count = ManaSession(nranks, factory, TESTBOX_MN, _cfg())
+    count.run(checkpoint_interval=interval)
+    total = count.sched.events_run
+    probe = ManaSession(nranks, factory, TESTBOX_MN, _cfg())
+    times = {}
+    for n in range(1, total + 1):
+        probe.sched.add_event_watch(
+            n, lambda n=n: times.__setitem__(n, probe.sched.now)
+        )
+    probe.run(checkpoint_interval=interval)
+    t_kill = first + 0.1 * (elapsed - first)
+    event = next(n for n in range(1, total + 1) if times[n] >= t_kill)
+
+    sess = ManaSession(nranks, factory, TESTBOX_MN, _cfg())
+
+    def kill(rank):
+        m = sess.rt.ranks[rank]
+        for p in (m.proc, m.ckpt_proc, m.hb_proc):
+            if p is not None:
+                sess.sched.kill(p, reason=f"test: kill {rank}")
+
+    sess.sched.add_event_watch(event, lambda: kill(0))
+    sess.sched.add_event_watch(event + 1, lambda: kill(1))
+    out = sess.run(checkpoint_interval=interval)
+    assert out.results == expected
+    dead = sorted({r for rec in out.recoveries for r in rec["dead_ranks"]})
+    assert dead == [0, 1]
+    for rec in out.recoveries:
+        assert rec["recovered_at"] >= rec["detected_at"]
+        assert rec["work_lost"] >= 0.0
+
+
+def test_kill_on_rebuilt_incarnation_cascades_same_episode():
+    """A kill landing on the fresh incarnation at the top of the replay
+    window merges into the in-progress recovery: one episode record,
+    ``attempts == 2``, union of both ranks, correct results."""
+    nranks = 4
+    factory, expected = _ring(nranks)
+    interval, first, elapsed = _calibrate(nranks)
+    sess = ManaSession(nranks, factory, TESTBOX_MN, _cfg())
+    plan = (FaultSchedule()
+            .kill_rank(0, at=first + 0.2 * (elapsed - first))
+            .kill_during_recovery(1, phase="replay"))
+    FaultInjector(sess, plan).arm()
+    out = sess.run(checkpoint_interval=interval)
+    assert out.results == expected
+    assert len(out.recoveries) == 1
+    rec = out.recoveries[0]
+    assert rec["attempts"] == 2
+    assert rec["dead_ranks"] == [0, 1]
+    # both kills are in the fault log: the scheduled one and the
+    # recovery-window one (stamped with the phase it hit)
+    kinds = sorted(f["kind"] for f in out.faults)
+    assert kinds == ["crash_during_recovery", "kill_rank"]
+    in_window = next(f for f in out.faults
+                     if f["kind"] == "crash_during_recovery")
+    assert in_window["phase"] == "replay"
+    assert in_window["attempt"] == 1
+
+
+# ----------------------------------------------------------------------
+# heartbeat suspicion window
+# ----------------------------------------------------------------------
+
+def _delayed_beats_run(probes: int):
+    """Run with every heartbeat delayed by 7 ms for a stretch starting
+    after the first commit: a ~8 ms silence gap per rank — past the 5 ms
+    timeout (so legacy mode declares death) but inside the suspicion
+    window's extra grace period (so the delayed beat clears it)."""
+    nranks = 4
+    factory, expected = _ring(nranks)
+    cfg = _cfg(heartbeat_probes=probes)
+    interval, first, elapsed = _calibrate(nranks, cfg=cfg)
+    sess = ManaSession(nranks, factory, TESTBOX_MN, cfg)
+    state = {"armed": False, "budget": 40}
+
+    def delay_beats(dst, item):
+        if not state["armed"] or state["budget"] <= 0:
+            return None
+        if not (isinstance(item, tuple) and item
+                and item[0] == "heartbeat"):
+            return None
+        state["budget"] -= 1
+        return ("delay", 7e-3)
+
+    sess.oob.set_fault_filter(delay_beats)
+    sess.sched.schedule_at(first + 0.1 * (elapsed - first),
+                           lambda: state.__setitem__("armed", True))
+    out = sess.run(checkpoint_interval=interval)
+    assert out.results == expected
+    return out
+
+
+def test_delayed_heartbeats_with_suspicion_window_no_rollback():
+    """Delayed-but-alive is not dead: with ``heartbeat_probes=1`` the
+    coordinator suspects, probes, and clears — zero detections, zero
+    recoveries, untouched results."""
+    out = _delayed_beats_run(probes=1)
+    assert out.detections == []
+    assert out.recoveries == []
+
+
+def test_delayed_heartbeats_legacy_mode_declares_dead():
+    """The companion: ``heartbeat_probes=0`` (declare on first silence)
+    turns the same delayed beats into a false detection and a rollback —
+    the job still completes correctly, but pays a recovery."""
+    out = _delayed_beats_run(probes=0)
+    assert len(out.detections) >= 1
+    assert len(out.recoveries) >= 1
+
+
+# ----------------------------------------------------------------------
+# graceful degradation
+# ----------------------------------------------------------------------
+
+def test_crash_before_first_commit_is_typed_job_loss():
+    nranks = 4
+    factory, expected = _ring(nranks)
+    sess = ManaSession(nranks, factory, TESTBOX_MN, _cfg())
+    FaultInjector(sess, FaultSchedule().kill_rank(0, at=2e-3)).arm()
+    with pytest.raises(JobLostError) as ei:
+        sess.run()
+    rec = ei.value.record
+    assert rec["job_lost"] is True
+    assert rec["reason"] == "no_recoverable_epoch"
+    assert rec["dead_ranks"] == [0]
+    assert rec["work_lost"] == rec["lost_at"] > 0.0
+    assert rec["durable_epochs"] == []
+    # the DES wound down clean: queue drained, nothing runnable left
+    assert not sess.sched._queue and not sess.sched._fifo
+    # JobLostError subclasses RecoveryError: existing callers still catch
+    assert isinstance(ei.value, RecoveryError)
+    # the terminal record is also the last recovery record
+    assert sess.rt.recovery_records[-1] is rec
+
+
+def test_max_incarnations_exhaustion_is_typed_job_loss():
+    """Every rebuilt incarnation is killed at the top of its replay
+    window; after ``max_incarnations`` attempts the orchestrator gives
+    up gracefully instead of looping forever."""
+    nranks = 4
+    factory, expected = _ring(nranks)
+    cfg = _cfg(max_incarnations=2, recovery_backoff=1e-4)
+    interval, first, elapsed = _calibrate(nranks, cfg=cfg)
+    sess = ManaSession(nranks, factory, TESTBOX_MN, cfg)
+    plan = (FaultSchedule()
+            .kill_rank(0, at=first + 0.2 * (elapsed - first))
+            .kill_during_recovery(0, phase="replay", count=10))
+    FaultInjector(sess, plan).arm()
+    with pytest.raises(JobLostError) as ei:
+        sess.run(checkpoint_interval=interval)
+    rec = ei.value.record
+    assert rec["reason"] == "max_incarnations"
+    assert rec["attempts"] == 2
+    assert rec["durable_epochs"]  # there WAS something to roll back to
+    assert not sess.sched._queue and not sess.sched._fifo
+
+
+# ----------------------------------------------------------------------
+# storage damage inside the recovery window
+# ----------------------------------------------------------------------
+
+def _run_tier_lost_in_window(nranks=4):
+    """Kill a rank; drop the attempt-1 storage source during teardown
+    (after the epoch probe read it, before the rebuilt job is stable);
+    force a cascade so attempt 2 must re-select without that tier."""
+    factory, expected = _ring(nranks)
+    cfg = _cfg(recovery_backoff=1e-4)
+    interval, first, elapsed = _calibrate(nranks, cfg=cfg)
+    sess = ManaSession(nranks, factory, TESTBOX_MN, cfg)
+    dropped = []
+
+    def drop_tier_in_window(phase, ctx):
+        if phase == "teardown" and ctx["attempt"] == 1:
+            dropped.append(sess.rt.store.drop_tier("local"))
+
+    sess.recovery_phase_hooks.append(drop_tier_in_window)
+    plan = (FaultSchedule()
+            .kill_rank(0, at=first + 0.2 * (elapsed - first))
+            .kill_during_recovery(1, phase="replay", count=1))
+    FaultInjector(sess, plan).arm()
+    out = sess.run(checkpoint_interval=interval)
+    assert out.results == expected
+    assert dropped and dropped[0] > 0
+    rec = out.recoveries[-1]
+    assert rec["attempts"] == 2
+    # attempt 2 re-selected with the local tier gone: every source used
+    # is a surviving rung of the ladder
+    assert all(src != "local" for src in rec["storage_sources"].values())
+    return out.elapsed, out.recoveries
+
+
+def test_tier_lost_between_probe_and_rebuild_falls_back():
+    _run_tier_lost_in_window()
+
+
+def test_tier_lost_in_window_is_deterministic():
+    a = _run_tier_lost_in_window()
+    b = _run_tier_lost_in_window()
+    assert a == b  # same seed ⇒ bit-identical virtual times and records
+
+
+def _run_blob_corrupt_on_recovery(nranks=4):
+    """Corrupt the victim's newest copy right as recovery starts
+    selecting an epoch: the read-path checksum rejects it and the
+    ladder's surviving replicas (or an older epoch) carry the restart."""
+    factory, expected = _ring(nranks)
+    cfg = _cfg()
+    interval, first, elapsed = _calibrate(nranks, cfg=cfg)
+    sess = ManaSession(nranks, factory, TESTBOX_MN, cfg)
+    corrupted = []
+
+    def corrupt_at_select(phase, ctx):
+        if phase == "select_epoch" and ctx["attempt"] == 1:
+            corrupted.append(sess.rt.store.corrupt_copy(0))
+
+    sess.recovery_phase_hooks.append(corrupt_at_select)
+    plan = FaultSchedule().kill_rank(0, at=first + 0.2 * (elapsed - first))
+    FaultInjector(sess, plan).arm()
+    out = sess.run(checkpoint_interval=interval)
+    assert out.results == expected
+    assert corrupted == [True]
+    rec = out.recoveries[-1]
+    # rank 0's image came from somewhere that verified — and the storage
+    # layer counted the rejected read
+    assert sess.rt.store.counters.get("verify_failed", 0) >= 1
+    return out.elapsed, out.recoveries, rec["storage_sources"]
+
+
+def test_blob_corrupt_on_recovered_epoch_falls_back():
+    _run_blob_corrupt_on_recovery()
+
+
+def test_blob_corrupt_on_recovery_is_deterministic():
+    assert _run_blob_corrupt_on_recovery() == _run_blob_corrupt_on_recovery()

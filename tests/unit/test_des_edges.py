@@ -109,3 +109,88 @@ def test_exception_in_process_propagates_and_marks_failed():
         sched.run()
     assert proc.state is ProcState.FAILED
     assert isinstance(proc.error, ValueError)
+
+
+# ----------------------------------------------------------------------
+# event watchpoints (the chaos harness's injection mechanism)
+# ----------------------------------------------------------------------
+
+def _watch_fixture(sched_cls):
+    """Three processes advancing in lockstep; watches record the exact
+    event count and virtual time they fire at."""
+    sched = sched_cls()
+
+    def ticker(n):
+        for _ in range(n):
+            yield Advance(1.0)
+
+    for i in range(3):
+        sched.spawn(ticker(4), f"t{i}")
+    return sched
+
+
+@pytest.mark.parametrize("sched_cls", [Scheduler],
+                         ids=["scheduler"])
+def test_event_watch_fires_at_exact_count(sched_cls):
+    sched = _watch_fixture(sched_cls)
+    seen = []
+    sched.add_event_watch(5, lambda: seen.append(
+        (sched.events_run, sched.now)))
+    sched.add_event_watch(7, lambda: seen.append(
+        (sched.events_run, sched.now)))
+    sched.run()
+    # the public counters are synced when a watch fires: the callback
+    # observes exactly the armed count
+    assert [n for n, _t in seen] == [5, 7]
+    assert seen[0][1] <= seen[1][1]
+
+
+def test_event_watch_matches_reference_scheduler():
+    from repro.des.scheduler import ReferenceScheduler
+
+    def run_with_watch(sched_cls):
+        sched = _watch_fixture(sched_cls)
+        seen = []
+        sched.add_event_watch(6, lambda: seen.append(
+            (sched.events_run, sched.now)))
+        sched.run()
+        return seen, sched.events_run, sched.now
+
+    fast = run_with_watch(Scheduler)
+    ref = run_with_watch(ReferenceScheduler)
+    assert fast == ref
+
+
+def test_event_watch_in_past_rejected():
+    sched = _watch_fixture(Scheduler)
+    sched.run()
+    with pytest.raises(SimulationError, match="in the past"):
+        sched.add_event_watch(1, lambda: None)
+
+
+def test_unfired_watch_changes_nothing():
+    plain = _watch_fixture(Scheduler)
+    plain.run()
+    watched = _watch_fixture(Scheduler)
+    watched.add_event_watch(10**9, lambda: 1 / 0)  # never reached
+    watched.run()
+    assert watched.events_run == plain.events_run
+    assert watched.now == plain.now
+
+
+def test_watch_can_kill_the_next_events_process():
+    """The chaos use case: the watch kills a process immediately before
+    the armed event dispatches — the victim never runs again."""
+    sched = Scheduler()
+    steps = []
+
+    def victim():
+        while True:
+            steps.append(sched.now)
+            yield Advance(1.0)
+
+    proc = sched.spawn(victim(), "victim")
+    sched.add_event_watch(3, lambda: sched.kill(proc, reason="chaos"))
+    sched.run()
+    assert proc.state is ProcState.KILLED
+    assert len(steps) == 2  # stepped at events 1 and 2, never at 3
